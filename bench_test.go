@@ -1,0 +1,114 @@
+package repro_test
+
+// Benchmark harness: one benchmark per reconstructed table and figure of
+// the paper's evaluation (see DESIGN.md's experiment index). Each bench
+// regenerates its table/figure end to end — workload generation, model
+// fitting, baseline fitting, evaluation — under the reduced QuickProtocol
+// so `go test -bench=.` finishes in minutes; run cmd/experiment for the
+// full-size numbers recorded in EXPERIMENTS.md.
+//
+// The trailing benchmarks measure the library's core operations (fit,
+// predict, simulate) in isolation.
+
+import (
+	"testing"
+
+	repro "repro"
+	"repro/internal/experiments"
+	"repro/internal/hpcsim"
+)
+
+// benchExperiment regenerates one experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := experiments.QuickProtocol(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports, err := e.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) == 0 {
+			b.Fatal("no reports")
+		}
+	}
+}
+
+func BenchmarkTable1ParameterSpace(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2Interpolation(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkTable3Extrapolation(b *testing.B)  { benchExperiment(b, "table3") }
+func BenchmarkTable4Ablation(b *testing.B)       { benchExperiment(b, "table4") }
+func BenchmarkTable5Significance(b *testing.B)   { benchExperiment(b, "table5") }
+func BenchmarkFig1ErrorVsScale(b *testing.B)     { benchExperiment(b, "fig1") }
+func BenchmarkFig2Clusters(b *testing.B)         { benchExperiment(b, "fig2") }
+func BenchmarkFig3LearningCurve(b *testing.B)    { benchExperiment(b, "fig3") }
+func BenchmarkFig4Scatter(b *testing.B)          { benchExperiment(b, "fig4") }
+func BenchmarkFig5SmallScaleSet(b *testing.B)    { benchExperiment(b, "fig5") }
+func BenchmarkFig6Noise(b *testing.B)            { benchExperiment(b, "fig6") }
+func BenchmarkFig7AnchorBudget(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8Machines(b *testing.B)         { benchExperiment(b, "fig8") }
+
+// ---- core library operations ----
+
+// benchHistory builds a representative training history once.
+func benchHistory(b *testing.B) (*repro.Table, repro.Config) {
+	b.Helper()
+	app := repro.Apps()["smg2000"]
+	eng := repro.NewEngine(nil, 1)
+	r := repro.NewRand(2)
+	cfg := repro.DefaultConfig()
+	cfgs := app.Space().SampleLatinHypercube(r, 200)
+	hist, err := eng.GenerateHistory(app, hpcsim.HistorySpec{
+		Configs: cfgs, Scales: cfg.SmallScales, Reps: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	anchors, err := eng.GenerateHistory(app, hpcsim.HistorySpec{
+		Configs: cfgs[:30], Scales: cfg.LargeScales, Reps: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hist.Merge(anchors)
+	return hist, cfg
+}
+
+func BenchmarkModelFit(b *testing.B) {
+	hist, cfg := benchHistory(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Fit(repro.NewRand(uint64(i)), hist, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelPredict(b *testing.B) {
+	hist, cfg := benchHistory(b)
+	m, err := repro.Fit(repro.NewRand(1), hist, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := []float64{192, 192, 128, 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(probe)
+	}
+}
+
+func BenchmarkSimulatedRun(b *testing.B) {
+	app := repro.Apps()["lulesh"]
+	eng := repro.NewEngine(nil, 1)
+	probe := []float64{120, 500, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(app, probe, 512, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

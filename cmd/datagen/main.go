@@ -1,0 +1,117 @@
+// Command datagen generates execution-history CSVs from the simulated HPC
+// platform — the stand-in for collecting historical runs on a real cluster.
+//
+// Usage:
+//
+//	datagen -app smg2000 -configs 300 -scales 2,4,8,16,32,64 -reps 3 -out history.csv
+//	datagen -app lulesh -configs 30 -scales 128,256,512,1024 -out anchors.csv
+//
+// Append anchor files to a small-scale history by concatenating tables
+// with the train tool's multi-input support.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"repro/internal/cliutil"
+
+	"repro/internal/hpcsim"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		appName      = flag.String("app", "smg2000", "application: smg2000, lulesh, kripke")
+		configs      = flag.Int("configs", 300, "number of input configurations to sample")
+		scales       = flag.String("scales", "2,4,8,16,32,64", "comma-separated process counts")
+		reps         = flag.Int("reps", 1, "repeated measurements per (config, scale)")
+		anchors      = flag.Int("anchors", 0, "first N configurations additionally run at -anchor-scales")
+		anchorScales = flag.String("anchor-scales", "128,256,512,1024", "scales for the anchor runs")
+		seed         = flag.Uint64("seed", 1, "random seed (governs sampling and noise)")
+		sigma        = flag.Float64("noise", 0.03, "log-normal noise sigma")
+		sampler      = flag.String("sampler", "lhs", "configuration sampler: lhs or uniform")
+		machine      = flag.String("machine", "default", "machine preset: default, fatnode, slownet")
+		out          = flag.String("out", "", "output CSV path (default stdout)")
+	)
+	flag.Parse()
+
+	app, ok := hpcsim.Apps()[*appName]
+	if !ok {
+		fatalf("unknown app %q; have %v", *appName, appNames())
+	}
+	scaleList, err := cliutil.ParseScales(*scales)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mach, ok := hpcsim.Machines()[*machine]
+	if !ok {
+		fatalf("unknown machine %q", *machine)
+	}
+
+	eng := hpcsim.NewEngine(mach, *seed)
+	eng.NoiseSigma = *sigma
+
+	r := rng.New(*seed ^ 0x5eed)
+	var cfgs [][]float64
+	switch *sampler {
+	case "lhs":
+		cfgs = app.Space().SampleLatinHypercube(r, *configs)
+	case "uniform":
+		cfgs = app.Space().SampleUniform(r, *configs)
+	default:
+		fatalf("unknown sampler %q", *sampler)
+	}
+
+	table, err := eng.GenerateHistory(app, hpcsim.HistorySpec{
+		Configs: cfgs, Scales: scaleList, Reps: *reps,
+	})
+	if err != nil {
+		fatalf("generating history: %v", err)
+	}
+	if *anchors > 0 {
+		n := *anchors
+		if n > len(cfgs) {
+			n = len(cfgs)
+		}
+		aScales, err := cliutil.ParseScales(*anchorScales)
+		if err != nil {
+			fatalf("-anchor-scales: %v", err)
+		}
+		aTable, err := eng.GenerateHistory(app, hpcsim.HistorySpec{
+			Configs: cfgs[:n], Scales: aScales, Reps: *reps,
+		})
+		if err != nil {
+			fatalf("generating anchor runs: %v", err)
+		}
+		table.Merge(aTable)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := table.WriteCSV(w); err != nil {
+		fatalf("writing CSV: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d runs (%d configs x %d scales x %d reps) for %s\n",
+		table.Len(), *configs, len(scaleList), *reps, app.Name())
+}
+
+func appNames() []string {
+	var out []string
+	for n := range hpcsim.Apps() {
+		out = append(out, n)
+	}
+	return out
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command experiment regenerates the reconstructed tables and figures of
+// the paper's evaluation (see DESIGN.md for the index).
+//
+// Usage:
+//
+//	experiment -id table3            # one experiment, full protocol
+//	experiment -id all               # everything
+//	experiment -id fig2 -quick       # reduced sizes for a fast look
+//	experiment -id fig1 -csv out.csv # also dump CSV series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		id    = flag.String("id", "all", "experiment id (table1..table4, fig1..fig6, or 'all')")
+		seed  = flag.Uint64("seed", 42, "base random seed")
+		quick = flag.Bool("quick", false, "use the reduced protocol (fast smoke run)")
+		csv   = flag.String("csv", "", "optional path to also write results as CSV")
+	)
+	flag.Parse()
+
+	proto := experiments.DefaultProtocol(*seed)
+	if *quick {
+		proto = experiments.QuickProtocol(*seed)
+	}
+
+	var exps []experiments.Experiment
+	if *id == "all" {
+		exps = experiments.Registry()
+	} else {
+		e, err := experiments.ByID(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []experiments.Experiment{e}
+	}
+
+	var csvFile *os.File
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvFile = f
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		reports, err := e.Run(proto)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, r := range reports {
+			if err := r.Fprint(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			if csvFile != nil {
+				fmt.Fprintf(csvFile, "# %s: %s\n", r.ID, r.Title)
+				if err := r.WriteCSV(csvFile); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("[%s done in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

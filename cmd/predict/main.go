@@ -1,0 +1,130 @@
+// Command predict loads a trained two-level model and predicts runtimes
+// for configurations given on the command line or in a CSV.
+//
+// Usage:
+//
+//	predict -model model.json -params 192,192,128,20
+//	predict -model model.json -params 192,192,128,20 -at 512
+//	predict -model model.json -in configs.csv
+//
+// A -in CSV needs one header row naming the parameters (matching the
+// model's) and one row per configuration.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"repro/internal/cliutil"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "model.json", "trained model path")
+		params    = flag.String("params", "", "one configuration, comma-separated values")
+		in        = flag.String("in", "", "CSV of configurations (header + rows)")
+		at        = flag.Int("at", 0, "predict at one specific scale (0 = all targets)")
+		curves    = flag.Bool("small", false, "also print the predicted small-scale curve")
+	)
+	flag.Parse()
+
+	m, err := core.Load(*modelPath)
+	if err != nil {
+		fatalf("loading model: %v", err)
+	}
+
+	var configs [][]float64
+	switch {
+	case *params != "":
+		v, err := cliutil.ParseVector(*params)
+		if err != nil {
+			fatalf("-params: %v", err)
+		}
+		configs = append(configs, v)
+	case *in != "":
+		configs, err = loadConfigs(*in, m.ParamNames)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fatalf("provide -params or -in")
+	}
+
+	for _, cfg := range configs {
+		if len(cfg) != len(m.ParamNames) {
+			fatalf("configuration %v has %d values, model expects %d (%v)",
+				cfg, len(cfg), len(m.ParamNames), m.ParamNames)
+		}
+		fmt.Printf("config %v (cluster %d)\n", cfg, m.AssignCluster(cfg))
+		if *curves {
+			smallPred := m.PredictSmall(cfg)
+			for i, s := range m.Cfg.SmallScales {
+				fmt.Printf("  p=%-6d %.6g s (interpolated)\n", s, smallPred[i])
+			}
+		}
+		if *at > 0 {
+			v, err := m.PredictAt(cfg, *at)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("  p=%-6d %.6g s\n", *at, v)
+			continue
+		}
+		pred := m.Predict(cfg)
+		for i, s := range m.Cfg.LargeScales {
+			fmt.Printf("  p=%-6d %.6g s\n", s, pred[i])
+		}
+	}
+}
+
+func loadConfigs(path string, want []string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading header of %s: %w", path, err)
+	}
+	if len(header) != len(want) {
+		return nil, fmt.Errorf("%s has %d columns, model expects %d (%v)", path, len(header), len(want), want)
+	}
+	for i, h := range header {
+		if h != want[i] {
+			return nil, fmt.Errorf("%s column %d is %q, model expects %q", path, i, h, want[i])
+		}
+	}
+	var out [][]float64
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, line, err)
+		}
+		line++
+		v := make([]float64, len(rec))
+		for i, cell := range rec {
+			v[i], err = strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s line %d: bad value %q", path, line, cell)
+			}
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "predict: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command simprofile prints a configuration's noise-free cost breakdown
+// across a scale sweep on the simulated platform — the ground-truth view
+// of where time goes, for validating skeletons and understanding why a
+// prediction looks the way it does.
+//
+// Usage:
+//
+//	simprofile -app smg2000 -params 256,256,256,20
+//	simprofile -app cg -params 128,200,27 -scales 2,8,32,128,512,2048 -machine slownet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/hpcsim"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "smg2000", "application: smg2000, lulesh, kripke, cg")
+		params  = flag.String("params", "", "configuration, comma-separated (required)")
+		scales  = flag.String("scales", "2,4,8,16,32,64,128,256,512,1024", "scale sweep")
+		machine = flag.String("machine", "default", "machine preset: default, fatnode, slownet")
+	)
+	flag.Parse()
+
+	app, ok := hpcsim.Apps()[*appName]
+	if !ok {
+		fatalf("unknown app %q", *appName)
+	}
+	if *params == "" {
+		fatalf("-params is required; %s expects %v", app.Name(), app.Space().Names())
+	}
+	cfg, err := cliutil.ParseVector(*params)
+	if err != nil {
+		fatalf("-params: %v", err)
+	}
+	scaleList, err := cliutil.ParseScales(*scales)
+	if err != nil {
+		fatalf("-scales: %v", err)
+	}
+	mach, ok := hpcsim.Machines()[*machine]
+	if !ok {
+		fatalf("unknown machine %q", *machine)
+	}
+
+	profile, err := hpcsim.ProfileApp(app, cfg, scaleList, mach)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := profile.Fprint(os.Stdout); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "simprofile: "+format+"\n", args...)
+	os.Exit(1)
+}

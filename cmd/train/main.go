@@ -1,0 +1,108 @@
+// Command train fits a two-level performance model from execution-history
+// CSVs and saves it as JSON.
+//
+// Usage:
+//
+//	train -in history.csv -out model.json
+//	train -in small.csv -in anchors.csv -small 2,4,8,16,32,64 -large 128,256,512,1024 -out model.json
+//	train -in small.csv -mode basis -clusters 4 -out model.json
+//
+// Multiple -in files are merged (they must share the application and
+// parameter columns), so small-scale history and anchor runs can live in
+// separate files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"repro/internal/cliutil"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string {
+	out := ""
+	for i, v := range *m {
+		if i > 0 {
+			out += ","
+		}
+		out += v
+	}
+	return out
+}
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var inputs multiFlag
+	flag.Var(&inputs, "in", "input history CSV (repeatable)")
+	var (
+		out      = flag.String("out", "model.json", "output model path")
+		small    = flag.String("small", "2,4,8,16,32,64", "small scales (comma-separated)")
+		large    = flag.String("large", "128,256,512,1024", "target large scales")
+		mode     = flag.String("mode", "auto", "extrapolation backend: auto, anchored, basis")
+		clusters = flag.Int("clusters", 3, "number of scaling-behaviour clusters")
+		trees    = flag.Int("trees", 100, "trees per interpolation forest")
+		lambda   = flag.Float64("lambda", 0, "multitask lasso lambda (0 = select automatically)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if len(inputs) == 0 {
+		fatalf("at least one -in file is required")
+	}
+	var table *dataset.Table
+	for _, path := range inputs {
+		t, err := dataset.LoadCSV(path)
+		if err != nil {
+			fatalf("loading %s: %v", path, err)
+		}
+		if table == nil {
+			table = t
+		} else {
+			table.Merge(t)
+		}
+	}
+
+	cfg := core.DefaultConfig()
+	var err error
+	if cfg.SmallScales, err = cliutil.ParseScales(*small); err != nil {
+		fatalf("-small: %v", err)
+	}
+	if cfg.LargeScales, err = cliutil.ParseScales(*large); err != nil {
+		fatalf("-large: %v", err)
+	}
+	switch *mode {
+	case "auto":
+		cfg.Mode = core.ModeAuto
+	case "anchored":
+		cfg.Mode = core.ModeAnchored
+	case "basis":
+		cfg.Mode = core.ModeBasis
+	default:
+		fatalf("unknown -mode %q", *mode)
+	}
+	cfg.Clusters = *clusters
+	cfg.Forest.Trees = *trees
+	cfg.Lambda = *lambda
+
+	m, err := core.Fit(rng.New(*seed), table, cfg)
+	if err != nil {
+		fatalf("fit: %v", err)
+	}
+	if err := m.Save(*out); err != nil {
+		fatalf("saving: %v", err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"trained %s-mode model on %d configurations (%d anchors), %d clusters; saved to %s\n",
+		m.Mode(), m.TrainConfigs, m.Anchors, m.Clusters(), *out)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "train: "+format+"\n", args...)
+	os.Exit(1)
+}

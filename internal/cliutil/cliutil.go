@@ -1,0 +1,48 @@
+// Package cliutil holds the small parsing helpers shared by the command-
+// line tools in cmd/.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseScales parses a comma-separated list of process counts.
+func ParseScales(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty scale in %q", s)
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad scale %q: %w", p, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("scale %d < 1", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseVector parses a comma-separated list of floats.
+func ParseVector(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty value in %q", s)
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

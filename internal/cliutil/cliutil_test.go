@@ -1,0 +1,42 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseScales(t *testing.T) {
+	got, err := ParseScales("2, 4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{2, 4, 8}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseScalesErrors(t *testing.T) {
+	for _, bad := range []string{"", "a", "2,,4", "2,0", "2,-1", "2.5"} {
+		if _, err := ParseScales(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseVector(t *testing.T) {
+	got, err := ParseVector("1.5, -2,3e2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{1.5, -2, 300}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseVectorErrors(t *testing.T) {
+	for _, bad := range []string{"", "x", "1,,2"} {
+		if _, err := ParseVector(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

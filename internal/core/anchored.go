@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linmod"
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// fitAnchored trains the anchored extrapolation backend: per cluster, a
+// multitask lasso mapping (log) small-scale prediction vectors to (log)
+// large-scale runtimes, tasks = target scales, training rows = anchor
+// configurations assigned to the cluster.
+func (m *TwoLevelModel) fitAnchored(r *rng.Source, td trainData) error {
+	cfg := m.Cfg
+	nA := len(td.anchorIdx)
+	k := len(cfg.SmallScales)
+
+	feat := mat.NewDense(nA, k)
+	for a, i := range td.anchorIdx {
+		copy(feat.Row(a), m.extrapCurve(td, i))
+	}
+	targets := mat.NewDense(nA, len(cfg.LargeScales))
+	for a := range td.anchorIdx {
+		copy(targets.Row(a), td.large[a])
+	}
+
+	labels, nClusters := m.clusterCurves(r, feat)
+
+	m.ClusterModels = make([]ClusterModel, nClusters)
+	for c := 0; c < nClusters; c++ {
+		var idx []int
+		for i, l := range labels {
+			if l == c {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) == 0 {
+			return fmt.Errorf("core: internal error: empty cluster %d after merging", c)
+		}
+		fx := gatherRows(feat, idx)
+		fy := gatherRows(targets, idx)
+		if cfg.LogTransform {
+			logInPlace(fx)
+			logInPlace(fy)
+		}
+		cm, err := fitAnchoredCluster(r, fx, fy, cfg)
+		if err != nil {
+			return fmt.Errorf("core: cluster %d: %w", c, err)
+		}
+		cm.Size = len(idx)
+		m.ClusterModels[c] = cm
+	}
+	return nil
+}
+
+// fitAnchoredCluster fits one cluster's (already transformed) features
+// and targets.
+func fitAnchoredCluster(r *rng.Source, fx, fy *mat.Dense, cfg Config) (ClusterModel, error) {
+	folds := cfg.CVFolds
+	if folds > fx.Rows {
+		folds = fx.Rows
+	}
+	if cfg.SingleTask {
+		models := make([]*linmod.Model, fy.Cols)
+		var lam float64
+		for t := 0; t < fy.Cols; t++ {
+			y := fy.Col(t)
+			if cfg.Lambda > 0 {
+				models[t] = linmod.Lasso(fx, y, cfg.Lambda, cfg.Lasso)
+				lam = cfg.Lambda
+			} else {
+				mdl, l := linmod.CVLasso(r.Split(), fx, y, folds, cfg.CVLambdas, cfg.Lasso)
+				models[t] = mdl
+				lam = l
+			}
+		}
+		return ClusterModel{Single: models, Lambda: lam}, nil
+	}
+	if cfg.Lambda > 0 {
+		return ClusterModel{
+			Multi:  linmod.MultiTaskLasso(fx, fy, cfg.Lambda, cfg.Lasso),
+			Lambda: cfg.Lambda,
+		}, nil
+	}
+	mdl, lam := linmod.CVMultiTaskLasso(r.Split(), fx, fy, folds, cfg.CVLambdas, cfg.Lasso)
+	return ClusterModel{Multi: mdl, Lambda: lam}, nil
+}
+
+// predictAnchored evaluates cluster c's anchored model on a small-scale
+// curve, returning runtimes at every target scale.
+func (m *TwoLevelModel) predictAnchored(c int, curve []float64) []float64 {
+	features := curve
+	if m.Cfg.LogTransform {
+		features = logVec(curve)
+	}
+	cm := &m.ClusterModels[c]
+	var pred []float64
+	if cm.Multi != nil {
+		pred = cm.Multi.Predict(features)
+	} else {
+		pred = make([]float64, len(cm.Single))
+		for i, mdl := range cm.Single {
+			pred[i] = mdl.Predict(features)
+		}
+	}
+	if m.Cfg.LogTransform {
+		for i, v := range pred {
+			pred[i] = math.Exp(v)
+		}
+	}
+	return pred
+}
+
+// logInPlace replaces every entry of x with its natural log, clamping
+// non-positive values.
+func logInPlace(x *mat.Dense) {
+	for i, v := range x.Data {
+		if v <= 0 {
+			v = 1e-12
+		}
+		x.Data[i] = math.Log(v)
+	}
+}

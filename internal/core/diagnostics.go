@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Diagnostics summarizes a fitted model's internals: what the
+// interpolation level thinks of its own fit (OOB error per scale), how
+// the configurations clustered, and what each cluster's extrapolation
+// model looks like. Intended for humans deciding whether to trust a model
+// before acting on its predictions.
+type Diagnostics struct {
+	Mode         Mode
+	TrainConfigs int
+	Anchors      int
+
+	// PerScale holds interpolation-level diagnostics per small scale.
+	PerScale []ScaleDiag
+	// PerCluster holds extrapolation-level diagnostics per cluster.
+	PerCluster []ClusterDiag
+}
+
+// ScaleDiag is the interpolation level's self-assessment at one scale.
+type ScaleDiag struct {
+	Scale int
+	// OOBRelErr is sqrt(OOB MSE) of the forest divided by the mean
+	// (log-space when LogInterpolation, where it approximates relative
+	// error directly).
+	OOBRelErr float64
+	Trees     int
+}
+
+// ClusterDiag describes one scaling-behaviour cluster.
+type ClusterDiag struct {
+	Cluster int
+	Size    int
+	Lambda  float64
+	// Terms renders the scalability terms (basis mode) or the active
+	// small-scale features (anchored mode).
+	Terms []string
+}
+
+// Diagnose computes diagnostics against the model's training table (the
+// same one passed to Fit; the forests' OOB bookkeeping refers to it).
+func (m *TwoLevelModel) Diagnose(table *dataset.Table) Diagnostics {
+	d := Diagnostics{
+		Mode:         m.Cfg.Mode,
+		TrainConfigs: m.TrainConfigs,
+		Anchors:      m.Anchors,
+	}
+	for si, s := range m.Cfg.SmallScales {
+		sub := table.FilterScale(s)
+		x, y := sub.XY()
+		if m.Cfg.LogInterpolation {
+			y = logVec(y)
+		}
+		var rel float64 = math.NaN()
+		if x.Rows > 0 {
+			mse := m.Interp[si].OOBError(x, y)
+			if !math.IsNaN(mse) {
+				if m.Cfg.LogInterpolation {
+					// sigma of log-residuals ~ relative error
+					rel = math.Sqrt(mse)
+				} else if mean := stats.Mean(y); mean != 0 {
+					rel = math.Sqrt(mse) / math.Abs(mean)
+				}
+			}
+		}
+		d.PerScale = append(d.PerScale, ScaleDiag{
+			Scale:     s,
+			OOBRelErr: rel,
+			Trees:     len(m.Interp[si].Trees),
+		})
+	}
+	for c := range m.ClusterModels {
+		cm := m.ClusterModels[c]
+		cd := ClusterDiag{Cluster: c, Size: cm.Size, Lambda: cm.Lambda}
+		if m.Cfg.Mode == ModeBasis {
+			cd.Terms = m.SupportTerms(c)
+		} else {
+			cd.Terms = m.anchoredActiveScales(c)
+		}
+		d.PerCluster = append(d.PerCluster, cd)
+	}
+	return d
+}
+
+// anchoredActiveScales lists the small scales with non-zero coefficients
+// in cluster c's anchored model (union over tasks for the single-task
+// ablation).
+func (m *TwoLevelModel) anchoredActiveScales(c int) []string {
+	cm := m.ClusterModels[c]
+	active := map[int]bool{}
+	if cm.Multi != nil {
+		for _, j := range cm.Multi.ActiveFeatures() {
+			active[j] = true
+		}
+	}
+	for _, mdl := range cm.Single {
+		for j, v := range mdl.Coef {
+			if v != 0 {
+				active[j] = true
+			}
+		}
+	}
+	idx := make([]int, 0, len(active))
+	for j := range active {
+		idx = append(idx, j)
+	}
+	sort.Ints(idx)
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = fmt.Sprintf("T(p=%d)", m.Cfg.SmallScales[j])
+	}
+	return out
+}
+
+// Fprint renders the diagnostics as a human-readable report.
+func (d Diagnostics) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "two-level model (%s mode): %d configurations, %d anchors\n",
+		d.Mode, d.TrainConfigs, d.Anchors); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "interpolation level (per-scale forests):"); err != nil {
+		return err
+	}
+	for _, s := range d.PerScale {
+		if _, err := fmt.Fprintf(w, "  p=%-6d %3d trees, OOB relative error ~%.1f%%\n",
+			s.Scale, s.Trees, 100*s.OOBRelErr); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "extrapolation level (per-cluster models):"); err != nil {
+		return err
+	}
+	for _, c := range d.PerCluster {
+		if _, err := fmt.Fprintf(w, "  cluster %d: %3d members, lambda %.4g, terms %v\n",
+			c.Cluster, c.Size, c.Lambda, c.Terms); err != nil {
+			return err
+		}
+	}
+	return nil
+}

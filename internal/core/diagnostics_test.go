@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDiagnoseAnchored(t *testing.T) {
+	cfg := smallCfg()
+	train, _ := simTables(t, 30, 80, 25, 5, cfg)
+	m, err := Fit(rng.New(1), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Diagnose(train)
+	if d.Mode != ModeAnchored {
+		t.Fatalf("mode %q", d.Mode)
+	}
+	if len(d.PerScale) != len(cfg.SmallScales) {
+		t.Fatalf("%d scale diags", len(d.PerScale))
+	}
+	for _, s := range d.PerScale {
+		if math.IsNaN(s.OOBRelErr) || s.OOBRelErr <= 0 || s.OOBRelErr > 1 {
+			t.Fatalf("scale %d OOB rel err = %v", s.Scale, s.OOBRelErr)
+		}
+		if s.Trees != cfg.Forest.Trees {
+			t.Fatalf("scale %d has %d trees", s.Scale, s.Trees)
+		}
+	}
+	if len(d.PerCluster) != m.Clusters() {
+		t.Fatalf("%d cluster diags for %d clusters", len(d.PerCluster), m.Clusters())
+	}
+	for _, c := range d.PerCluster {
+		if c.Size <= 0 || len(c.Terms) == 0 {
+			t.Fatalf("cluster diag %+v", c)
+		}
+		for _, term := range c.Terms {
+			if !strings.HasPrefix(term, "T(p=") {
+				t.Fatalf("anchored term %q", term)
+			}
+		}
+	}
+}
+
+func TestDiagnoseBasis(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Mode = ModeBasis
+	train, _ := simTables(t, 31, 80, 0, 5, cfg)
+	m, err := Fit(rng.New(1), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Diagnose(train)
+	for _, c := range d.PerCluster {
+		if len(c.Terms) == 0 || c.Terms[0] != "1" {
+			t.Fatalf("basis cluster terms %v", c.Terms)
+		}
+	}
+}
+
+func TestDiagnosticsRender(t *testing.T) {
+	cfg := smallCfg()
+	train, _ := simTables(t, 32, 60, 20, 5, cfg)
+	m, err := Fit(rng.New(1), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Diagnose(train).Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"anchored mode", "interpolation level", "extrapolation level", "cluster 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

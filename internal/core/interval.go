@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a heuristic prediction interval at one target scale.
+type Interval struct {
+	Scale       int
+	Lo, Mid, Hi float64
+}
+
+// PredictInterval returns, per target scale, a heuristic uncertainty band
+// derived from the interpolation level's tree-ensemble spread: the q and
+// 1-q quantiles of per-tree predictions form pessimistic and optimistic
+// small-scale curves, and each is pushed through the extrapolation level.
+//
+// The band reflects the interpolation level's epistemic uncertainty about
+// the configuration (wide where the parameter space is sparsely covered);
+// it does not account for extrapolation-level model error, so treat it as
+// a lower bound on the true uncertainty. q must be in (0, 0.5).
+func (m *TwoLevelModel) PredictInterval(params []float64, q float64) []Interval {
+	if q <= 0 || q >= 0.5 {
+		panic(fmt.Sprintf("core: interval quantile %v outside (0, 0.5)", q))
+	}
+	k := len(m.Cfg.SmallScales)
+	loCurve := make([]float64, k)
+	midCurve := make([]float64, k)
+	hiCurve := make([]float64, k)
+	for i, f := range m.Interp {
+		lo := f.PredictQuantile(params, q)
+		mid := f.Predict(params)
+		hi := f.PredictQuantile(params, 1-q)
+		if m.Cfg.LogInterpolation {
+			lo, mid, hi = math.Exp(lo), math.Exp(mid), math.Exp(hi)
+		}
+		loCurve[i], midCurve[i], hiCurve[i] = lo, mid, hi
+	}
+	loPred := m.PredictFromCurve(loCurve)
+	midPred := m.PredictFromCurve(midCurve)
+	hiPred := m.PredictFromCurve(hiCurve)
+	out := make([]Interval, len(m.Cfg.LargeScales))
+	for i, s := range m.Cfg.LargeScales {
+		lo, hi := loPred[i], hiPred[i]
+		if lo > hi { // extrapolation can reorder the band; normalize
+			lo, hi = hi, lo
+		}
+		mid := midPred[i]
+		if mid < lo {
+			mid = lo
+		}
+		if mid > hi {
+			mid = hi
+		}
+		out[i] = Interval{Scale: s, Lo: lo, Mid: mid, Hi: hi}
+	}
+	return out
+}
+
+// Width returns the relative width (Hi-Lo)/Mid of the interval; 0 when
+// the midpoint is zero.
+func (iv Interval) Width() float64 {
+	if iv.Mid == 0 {
+		return 0
+	}
+	return (iv.Hi - iv.Lo) / iv.Mid
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPredictIntervalOrderingAndCoverage(t *testing.T) {
+	cfg := smallCfg()
+	train, test := simTables(t, 40, 120, 30, 30, cfg)
+	m, err := Fit(rng.New(1), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, total := 0, 0
+	for _, c := range test.GroupByConfig() {
+		ivs := m.PredictInterval(c.Params, 0.1)
+		if len(ivs) != len(cfg.LargeScales) {
+			t.Fatalf("%d intervals", len(ivs))
+		}
+		for _, iv := range ivs {
+			if !(iv.Lo <= iv.Mid && iv.Mid <= iv.Hi) {
+				t.Fatalf("interval not ordered: %+v", iv)
+			}
+			if iv.Lo <= 0 {
+				t.Fatalf("non-positive interval bound: %+v", iv)
+			}
+			if iv.Width() < 0 {
+				t.Fatalf("negative width: %+v", iv)
+			}
+			truth, ok := c.Runtimes[iv.Scale]
+			if !ok {
+				continue
+			}
+			total++
+			// generous band: within the interval stretched by 2x on each side
+			span := iv.Hi - iv.Lo
+			if truth >= iv.Lo-span && truth <= iv.Hi+span {
+				covered++
+			}
+		}
+	}
+	// the band is heuristic; require it to be at least loosely calibrated
+	if frac := float64(covered) / float64(total); frac < 0.5 {
+		t.Fatalf("stretched-interval coverage %.2f too low", frac)
+	}
+}
+
+func TestPredictIntervalMidMatchesPredict(t *testing.T) {
+	cfg := smallCfg()
+	train, test := simTables(t, 41, 60, 20, 5, cfg)
+	m, err := Fit(rng.New(1), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := test.GroupByConfig()[0].Params
+	ivs := m.PredictInterval(probe, 0.2)
+	pred := m.Predict(probe)
+	for i, iv := range ivs {
+		// Mid is the point prediction clamped into the band
+		if iv.Mid != pred[i] && (pred[i] >= iv.Lo && pred[i] <= iv.Hi) {
+			t.Fatalf("mid %v != prediction %v despite being inside band", iv.Mid, pred[i])
+		}
+	}
+}
+
+func TestPredictIntervalQuantilePanics(t *testing.T) {
+	cfg := smallCfg()
+	train, _ := simTables(t, 42, 60, 20, 5, cfg)
+	m, err := Fit(rng.New(1), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0, 0.5, -0.1, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("q=%v did not panic", q)
+				}
+			}()
+			m.PredictInterval([]float64{64, 64, 64, 6}, q)
+		}()
+	}
+}
+
+func TestNarrowerQuantileWidensInterval(t *testing.T) {
+	cfg := smallCfg()
+	train, test := simTables(t, 43, 80, 20, 5, cfg)
+	m, err := Fit(rng.New(1), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := test.GroupByConfig()[0].Params
+	tight := m.PredictInterval(probe, 0.25)
+	wide := m.PredictInterval(probe, 0.05)
+	for i := range tight {
+		if wide[i].Hi-wide[i].Lo < tight[i].Hi-tight[i].Lo-1e-12 {
+			t.Fatalf("q=0.05 band narrower than q=0.25 at scale %d", tight[i].Scale)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+func TestMergeSmallClustersKeepsLargeOnes(t *testing.T) {
+	// two well-separated shape families, sizes 20 and 20: nothing merges
+	shapes := mat.NewDense(40, 3)
+	for i := 0; i < 20; i++ {
+		copy(shapes.Row(i), []float64{0, -1, -2})
+	}
+	for i := 20; i < 40; i++ {
+		copy(shapes.Row(i), []float64{0, 1, 2})
+	}
+	res := cluster.KMeans(rng.New(1), shapes, 2, cluster.Options{})
+	labels := append([]int(nil), res.Labels...)
+	labels2, merged := mergeSmallClusters(labels, res, shapes, 8)
+	if merged.K() != 2 {
+		t.Fatalf("merged to %d clusters", merged.K())
+	}
+	for i := range labels2 {
+		if labels2[i] < 0 || labels2[i] >= 2 {
+			t.Fatalf("label %d out of range", labels2[i])
+		}
+	}
+}
+
+func TestMergeSmallClustersReassignsTinyCluster(t *testing.T) {
+	// 20 + 20 + 2 points: with minSize 8, the tiny cluster is absorbed
+	shapes := mat.NewDense(42, 3)
+	for i := 0; i < 20; i++ {
+		copy(shapes.Row(i), []float64{0, -1, -2})
+	}
+	for i := 20; i < 40; i++ {
+		copy(shapes.Row(i), []float64{0, 1, 2})
+	}
+	copy(shapes.Row(40), []float64{0, 10, 20})
+	copy(shapes.Row(41), []float64{0, 10, 20})
+	res := cluster.KMeans(rng.New(2), shapes, 3, cluster.Options{})
+	labels := append([]int(nil), res.Labels...)
+	labels2, merged := mergeSmallClusters(labels, res, shapes, 8)
+	if merged.K() != 2 {
+		t.Fatalf("merged to %d clusters, want 2", merged.K())
+	}
+	counts := map[int]int{}
+	for _, l := range labels2 {
+		counts[l]++
+	}
+	if len(counts) != 2 || counts[0]+counts[1] != 42 {
+		t.Fatalf("label distribution %v", counts)
+	}
+}
+
+func TestMergeSmallClustersCollapseAll(t *testing.T) {
+	// every cluster below minSize: collapse to one mean centroid
+	shapes := mat.NewDense(6, 2)
+	for i := 0; i < 6; i++ {
+		shapes.Set(i, 0, float64(i))
+		shapes.Set(i, 1, float64(-i))
+	}
+	res := cluster.KMeans(rng.New(3), shapes, 3, cluster.Options{})
+	labels := append([]int(nil), res.Labels...)
+	labels2, merged := mergeSmallClusters(labels, res, shapes, 8)
+	if merged.K() != 1 {
+		t.Fatalf("collapse produced %d clusters", merged.K())
+	}
+	for _, l := range labels2 {
+		if l != 0 {
+			t.Fatal("collapse left non-zero label")
+		}
+	}
+	// the single centroid is the mean of the shapes
+	if merged.Centroids.At(0, 0) != 2.5 || merged.Centroids.At(0, 1) != -2.5 {
+		t.Fatalf("collapsed centroid %v", merged.Centroids.Row(0))
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// modelFileVersion guards against loading files written by incompatible
+// releases.
+const modelFileVersion = 1
+
+// modelFile is the on-disk envelope.
+type modelFile struct {
+	Version int            `json:"version"`
+	Model   *TwoLevelModel `json:"model"`
+}
+
+// Write serializes the model as JSON.
+func (m *TwoLevelModel) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(modelFile{Version: modelFileVersion, Model: m})
+}
+
+// Read deserializes a model previously written with Write.
+func Read(r io.Reader) (*TwoLevelModel, error) {
+	var f modelFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if f.Version != modelFileVersion {
+		return nil, fmt.Errorf("core: model file version %d, this build reads %d", f.Version, modelFileVersion)
+	}
+	if f.Model == nil {
+		return nil, fmt.Errorf("core: model file has no model")
+	}
+	if err := f.Model.validateLoaded(); err != nil {
+		return nil, err
+	}
+	return f.Model, nil
+}
+
+// Save writes the model to a file path.
+func (m *TwoLevelModel) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a model from a file path.
+func Load(path string) (*TwoLevelModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// validateLoaded sanity-checks structural invariants after deserialization
+// so a corrupt file fails at load time, not at first prediction.
+func (m *TwoLevelModel) validateLoaded() error {
+	if len(m.Interp) != len(m.Cfg.SmallScales) {
+		return fmt.Errorf("core: %d interpolation models for %d small scales", len(m.Interp), len(m.Cfg.SmallScales))
+	}
+	for i, f := range m.Interp {
+		if f == nil || len(f.Trees) == 0 {
+			return fmt.Errorf("core: interpolation model %d is empty", i)
+		}
+		if f.Features != len(m.ParamNames) {
+			return fmt.Errorf("core: interpolation model %d expects %d features, model has %d params",
+				i, f.Features, len(m.ParamNames))
+		}
+	}
+	if len(m.ClusterModels) == 0 {
+		return fmt.Errorf("core: no cluster models")
+	}
+	for i, cm := range m.ClusterModels {
+		switch m.Cfg.Mode {
+		case ModeAnchored:
+			if cm.Multi == nil && len(cm.Single) == 0 {
+				return fmt.Errorf("core: anchored cluster %d has no model", i)
+			}
+			if cm.Multi != nil && cm.Multi.Tasks != len(m.Cfg.LargeScales) {
+				return fmt.Errorf("core: anchored cluster %d has %d tasks for %d large scales",
+					i, cm.Multi.Tasks, len(m.Cfg.LargeScales))
+			}
+			if cm.Single != nil && len(cm.Single) != len(m.Cfg.LargeScales) {
+				return fmt.Errorf("core: anchored cluster %d has %d single-task models for %d large scales",
+					i, len(cm.Single), len(m.Cfg.LargeScales))
+			}
+		case ModeBasis:
+			for _, j := range cm.Support {
+				if j < 0 || j >= len(m.Cfg.Basis) {
+					return fmt.Errorf("core: cluster %d support index %d outside basis of %d terms",
+						i, j, len(m.Cfg.Basis))
+				}
+			}
+			if !m.Cfg.SingleTask && cm.Support == nil {
+				return fmt.Errorf("core: basis cluster %d has no support but model is not single-task", i)
+			}
+		default:
+			return fmt.Errorf("core: loaded model has unresolved mode %q", m.Cfg.Mode)
+		}
+	}
+	if m.Centroids != nil && m.Centroids.Rows != len(m.ClusterModels) {
+		return fmt.Errorf("core: %d centroids for %d cluster models", m.Centroids.Rows, len(m.ClusterModels))
+	}
+	if m.Centroids == nil && len(m.ClusterModels) != 1 {
+		return fmt.Errorf("core: multiple cluster models without centroids")
+	}
+	return nil
+}

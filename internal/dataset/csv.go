@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// csv layout: header is app metadata free; columns are
+// param1,...,paramN,scale,runtime. The application name travels in a
+// leading comment-style record "#app,<name>" so a file is self-contained.
+
+// WriteCSV serializes the table.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"#app", t.App}); err != nil {
+		return err
+	}
+	header := append(append([]string{}, t.ParamNames...), "scale", "runtime")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for _, r := range t.Runs {
+		for i, v := range r.Params {
+			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[len(t.ParamNames)] = strconv.Itoa(r.Scale)
+		rec[len(t.ParamNames)+1] = strconv.FormatFloat(r.Runtime, 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading app record: %w", err)
+	}
+	app := ""
+	var header []string
+	if len(first) >= 1 && first[0] == "#app" {
+		if len(first) > 1 {
+			app = first[1]
+		}
+		header, err = cr.Read()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading header: %w", err)
+		}
+	} else {
+		header = first
+	}
+	if len(header) < 2 || header[len(header)-1] != "runtime" || header[len(header)-2] != "scale" {
+		return nil, fmt.Errorf("dataset: header must end with scale,runtime; got %v", header)
+	}
+	t := NewTable(app, header[:len(header)-2])
+	p := len(t.ParamNames)
+	line := 2
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		line++
+		if len(rec) != p+2 {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(rec), p+2)
+		}
+		run := Run{Params: make([]float64, p)}
+		for i := 0; i < p; i++ {
+			run.Params[i], err = strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %q: %w", line, rec[i], err)
+			}
+		}
+		run.Scale, err = strconv.Atoi(rec[p])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d scale %q: %w", line, rec[p], err)
+		}
+		run.Runtime, err = strconv.ParseFloat(rec[p+1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d runtime %q: %w", line, rec[p+1], err)
+		}
+		t.Runs = append(t.Runs, run)
+	}
+	return t, nil
+}
+
+// SaveCSV writes the table to a file path.
+func (t *Table) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSV reads a table from a file path.
+func LoadCSV(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// ParamDef describes one dimension of an application's input-parameter
+// space. Continuous dimensions sample uniformly in [Lo, Hi]; discrete
+// dimensions sample from Values.
+type ParamDef struct {
+	Name   string
+	Lo, Hi float64   // used when Values is empty
+	Values []float64 // if non-empty, the dimension is categorical/discrete
+}
+
+// Space is an application's input-parameter space.
+type Space struct {
+	Params []ParamDef
+}
+
+// Names returns the parameter names in order.
+func (sp Space) Names() []string {
+	out := make([]string, len(sp.Params))
+	for i, p := range sp.Params {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// validate panics on an ill-formed space; sampling errors here are
+// programming errors in workload definitions.
+func (sp Space) validate() {
+	if len(sp.Params) == 0 {
+		panic("dataset: empty parameter space")
+	}
+	for _, p := range sp.Params {
+		if len(p.Values) == 0 && p.Hi < p.Lo {
+			panic(fmt.Sprintf("dataset: parameter %q has Hi < Lo", p.Name))
+		}
+	}
+}
+
+// SampleUniform draws n parameter vectors uniformly at random.
+func (sp Space) SampleUniform(r *rng.Source, n int) [][]float64 {
+	sp.validate()
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, len(sp.Params))
+		for j, p := range sp.Params {
+			if len(p.Values) > 0 {
+				v[j] = p.Values[r.Intn(len(p.Values))]
+			} else {
+				v[j] = r.Uniform(p.Lo, p.Hi)
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// SampleLatinHypercube draws n parameter vectors with Latin hypercube
+// stratification on the continuous dimensions (each dimension's range is
+// cut into n strata, one sample per stratum, independently permuted);
+// discrete dimensions sample uniformly.
+func (sp Space) SampleLatinHypercube(r *rng.Source, n int) [][]float64 {
+	sp.validate()
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, len(sp.Params))
+	}
+	for j, p := range sp.Params {
+		if len(p.Values) > 0 {
+			for i := range out {
+				out[i][j] = p.Values[r.Intn(len(p.Values))]
+			}
+			continue
+		}
+		perm := r.Perm(n)
+		span := p.Hi - p.Lo
+		for i := range out {
+			stratum := float64(perm[i])
+			u := (stratum + r.Float64()) / float64(n)
+			out[i][j] = p.Lo + u*span
+		}
+	}
+	return out
+}
+
+// Grid enumerates the full Cartesian product of discrete dimensions;
+// continuous dimensions are discretized into steps points (endpoints
+// included). The result order is deterministic. Use with care: the size is
+// the product of all dimension cardinalities.
+func (sp Space) Grid(steps int) [][]float64 {
+	sp.validate()
+	if steps < 2 {
+		panic("dataset: Grid needs steps >= 2")
+	}
+	levels := make([][]float64, len(sp.Params))
+	for j, p := range sp.Params {
+		if len(p.Values) > 0 {
+			levels[j] = p.Values
+			continue
+		}
+		vs := make([]float64, steps)
+		for s := 0; s < steps; s++ {
+			vs[s] = p.Lo + (p.Hi-p.Lo)*float64(s)/float64(steps-1)
+		}
+		levels[j] = vs
+	}
+	total := 1
+	for _, l := range levels {
+		total *= len(l)
+	}
+	out := make([][]float64, 0, total)
+	idx := make([]int, len(levels))
+	for {
+		v := make([]float64, len(levels))
+		for j := range levels {
+			v[j] = levels[j][idx[j]]
+		}
+		out = append(out, v)
+		// odometer increment
+		j := len(levels) - 1
+		for j >= 0 {
+			idx[j]++
+			if idx[j] < len(levels[j]) {
+				break
+			}
+			idx[j] = 0
+			j--
+		}
+		if j < 0 {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Scaler is a fitted, invertible per-column feature transform.
+type Scaler interface {
+	// Transform maps x (rows are samples) to the scaled space, in place.
+	Transform(x *mat.Dense)
+	// TransformVec maps a single feature vector in place.
+	TransformVec(v []float64)
+	// Inverse undoes TransformVec in place.
+	Inverse(v []float64)
+}
+
+// StandardScaler centers each column to mean 0 and scales to unit variance.
+// Constant columns are centered but left unscaled.
+type StandardScaler struct {
+	Mean, Std []float64
+}
+
+// FitStandard learns column means and standard deviations from x.
+func FitStandard(x *mat.Dense) *StandardScaler {
+	if x.Rows == 0 {
+		panic("dataset: FitStandard on empty matrix")
+	}
+	s := &StandardScaler{
+		Mean: make([]float64, x.Cols),
+		Std:  make([]float64, x.Cols),
+	}
+	for j := 0; j < x.Cols; j++ {
+		var sum float64
+		for i := 0; i < x.Rows; i++ {
+			sum += x.At(i, j)
+		}
+		m := sum / float64(x.Rows)
+		var ss float64
+		for i := 0; i < x.Rows; i++ {
+			d := x.At(i, j) - m
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / float64(x.Rows))
+		if sd == 0 {
+			sd = 1
+		}
+		s.Mean[j], s.Std[j] = m, sd
+	}
+	return s
+}
+
+func (s *StandardScaler) check(cols int) {
+	if cols != len(s.Mean) {
+		panic(fmt.Sprintf("dataset: scaler fitted on %d cols, got %d", len(s.Mean), cols))
+	}
+}
+
+// Transform standardizes x in place.
+func (s *StandardScaler) Transform(x *mat.Dense) {
+	s.check(x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		s.TransformVec(x.Row(i))
+	}
+}
+
+// TransformVec standardizes one vector in place.
+func (s *StandardScaler) TransformVec(v []float64) {
+	s.check(len(v))
+	for j := range v {
+		v[j] = (v[j] - s.Mean[j]) / s.Std[j]
+	}
+}
+
+// Inverse maps a standardized vector back to the original space in place.
+func (s *StandardScaler) Inverse(v []float64) {
+	s.check(len(v))
+	for j := range v {
+		v[j] = v[j]*s.Std[j] + s.Mean[j]
+	}
+}
+
+// MinMaxScaler maps each column to [0, 1]. Constant columns map to 0.
+type MinMaxScaler struct {
+	Lo, Hi []float64
+}
+
+// FitMinMax learns per-column ranges from x.
+func FitMinMax(x *mat.Dense) *MinMaxScaler {
+	if x.Rows == 0 {
+		panic("dataset: FitMinMax on empty matrix")
+	}
+	s := &MinMaxScaler{
+		Lo: make([]float64, x.Cols),
+		Hi: make([]float64, x.Cols),
+	}
+	for j := 0; j < x.Cols; j++ {
+		lo, hi := x.At(0, j), x.At(0, j)
+		for i := 1; i < x.Rows; i++ {
+			v := x.At(i, j)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		s.Lo[j], s.Hi[j] = lo, hi
+	}
+	return s
+}
+
+func (s *MinMaxScaler) check(cols int) {
+	if cols != len(s.Lo) {
+		panic(fmt.Sprintf("dataset: scaler fitted on %d cols, got %d", len(s.Lo), cols))
+	}
+}
+
+// Transform rescales x into [0,1] per column, in place.
+func (s *MinMaxScaler) Transform(x *mat.Dense) {
+	s.check(x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		s.TransformVec(x.Row(i))
+	}
+}
+
+// TransformVec rescales one vector in place.
+func (s *MinMaxScaler) TransformVec(v []float64) {
+	s.check(len(v))
+	for j := range v {
+		span := s.Hi[j] - s.Lo[j]
+		if span == 0 {
+			v[j] = 0
+			continue
+		}
+		v[j] = (v[j] - s.Lo[j]) / span
+	}
+}
+
+// Inverse maps a [0,1]-scaled vector back to the original space in place.
+func (s *MinMaxScaler) Inverse(v []float64) {
+	s.check(len(v))
+	for j := range v {
+		v[j] = v[j]*(s.Hi[j]-s.Lo[j]) + s.Lo[j]
+	}
+}
+
+var (
+	_ Scaler = (*StandardScaler)(nil)
+	_ Scaler = (*MinMaxScaler)(nil)
+)

@@ -1,0 +1,225 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+func TestStandardScalerMoments(t *testing.T) {
+	r := rng.New(1)
+	x := mat.NewDense(200, 3)
+	for i := range x.Data {
+		x.Data[i] = r.Uniform(-5, 20)
+	}
+	s := FitStandard(x)
+	s.Transform(x)
+	for j := 0; j < x.Cols; j++ {
+		var sum, ss float64
+		for i := 0; i < x.Rows; i++ {
+			sum += x.At(i, j)
+		}
+		m := sum / float64(x.Rows)
+		for i := 0; i < x.Rows; i++ {
+			d := x.At(i, j) - m
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / float64(x.Rows))
+		if math.Abs(m) > 1e-10 || math.Abs(sd-1) > 1e-10 {
+			t.Fatalf("col %d: mean=%v sd=%v after standardize", j, m, sd)
+		}
+	}
+}
+
+func TestStandardScalerConstantColumn(t *testing.T) {
+	x := mat.FromRows([][]float64{{5, 1}, {5, 2}, {5, 3}})
+	s := FitStandard(x)
+	s.Transform(x)
+	for i := 0; i < 3; i++ {
+		if x.At(i, 0) != 0 {
+			t.Fatal("constant column should center to 0")
+		}
+	}
+}
+
+func TestStandardScalerInverseProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		r := rng.New(uint64(seed) + 1)
+		x := mat.NewDense(30, 4)
+		for i := range x.Data {
+			x.Data[i] = r.Uniform(-10, 10)
+		}
+		s := FitStandard(x)
+		v := []float64{r.Norm(), r.Norm(), r.Norm(), r.Norm()}
+		orig := append([]float64(nil), v...)
+		s.TransformVec(v)
+		s.Inverse(v)
+		for i := range v {
+			if math.Abs(v[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandardScalerShapeMismatchPanics(t *testing.T) {
+	x := mat.NewDense(2, 2)
+	x.Data = []float64{1, 2, 3, 4}
+	s := FitStandard(x)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.TransformVec([]float64{1, 2, 3})
+}
+
+func TestMinMaxScalerRange(t *testing.T) {
+	r := rng.New(3)
+	x := mat.NewDense(100, 2)
+	for i := range x.Data {
+		x.Data[i] = r.Uniform(3, 9)
+	}
+	s := FitMinMax(x)
+	s.Transform(x)
+	for _, v := range x.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("minmax value %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestMinMaxScalerConstant(t *testing.T) {
+	x := mat.FromRows([][]float64{{7}, {7}})
+	s := FitMinMax(x)
+	v := []float64{7}
+	s.TransformVec(v)
+	if v[0] != 0 {
+		t.Fatalf("constant column mapped to %v", v[0])
+	}
+}
+
+func TestMinMaxInverse(t *testing.T) {
+	x := mat.FromRows([][]float64{{0, 10}, {4, 30}})
+	s := FitMinMax(x)
+	v := []float64{2, 20}
+	s.TransformVec(v)
+	if v[0] != 0.5 || v[1] != 0.5 {
+		t.Fatalf("transform = %v", v)
+	}
+	s.Inverse(v)
+	if v[0] != 2 || v[1] != 20 {
+		t.Fatalf("inverse = %v", v)
+	}
+}
+
+func TestFitOnEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FitStandard(mat.NewDense(0, 2))
+}
+
+func TestSampleUniformInBounds(t *testing.T) {
+	sp := Space{Params: []ParamDef{
+		{Name: "a", Lo: 1, Hi: 3},
+		{Name: "b", Values: []float64{10, 20, 30}},
+	}}
+	r := rng.New(5)
+	for _, v := range sp.SampleUniform(r, 500) {
+		if v[0] < 1 || v[0] >= 3 {
+			t.Fatalf("continuous out of bounds: %v", v[0])
+		}
+		if v[1] != 10 && v[1] != 20 && v[1] != 30 {
+			t.Fatalf("discrete out of set: %v", v[1])
+		}
+	}
+}
+
+func TestLatinHypercubeStratification(t *testing.T) {
+	sp := Space{Params: []ParamDef{{Name: "a", Lo: 0, Hi: 1}}}
+	r := rng.New(7)
+	n := 50
+	pts := sp.SampleLatinHypercube(r, n)
+	// exactly one sample per stratum [i/n, (i+1)/n)
+	seen := make([]int, n)
+	for _, v := range pts {
+		s := int(v[0] * float64(n))
+		if s == n {
+			s = n - 1
+		}
+		seen[s]++
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("stratum %d has %d samples", i, c)
+		}
+	}
+}
+
+func TestLatinHypercubeDiscrete(t *testing.T) {
+	sp := Space{Params: []ParamDef{{Name: "d", Values: []float64{1, 2}}}}
+	r := rng.New(8)
+	for _, v := range sp.SampleLatinHypercube(r, 20) {
+		if v[0] != 1 && v[0] != 2 {
+			t.Fatalf("discrete LHS value %v", v[0])
+		}
+	}
+}
+
+func TestGridEnumeration(t *testing.T) {
+	sp := Space{Params: []ParamDef{
+		{Name: "a", Lo: 0, Hi: 1},
+		{Name: "b", Values: []float64{5, 6, 7}},
+	}}
+	g := sp.Grid(3)
+	if len(g) != 9 {
+		t.Fatalf("grid size %d, want 9", len(g))
+	}
+	// endpoints present
+	found := false
+	for _, v := range g {
+		if v[0] == 1 && v[1] == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("grid missing corner point")
+	}
+	// deterministic
+	g2 := sp.Grid(3)
+	for i := range g {
+		if g[i][0] != g2[i][0] || g[i][1] != g2[i][1] {
+			t.Fatal("grid not deterministic")
+		}
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	sp := Space{Params: []ParamDef{{Name: "a", Lo: 0, Hi: 1}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	sp.Grid(1)
+}
+
+func TestSpaceValidate(t *testing.T) {
+	sp := Space{Params: []ParamDef{{Name: "a", Lo: 2, Hi: 1}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for Hi < Lo")
+		}
+	}()
+	sp.SampleUniform(rng.New(1), 1)
+}

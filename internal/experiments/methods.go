@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// MethodNames is the presentation order of compared methods. "two-level"
+// is the paper's method (anchored backend); "two-level-basis" is the
+// variant that uses no large-scale history at all.
+var MethodNames = []string{
+	"two-level", "two-level-basis", "direct-rf", "direct-gbrt", "direct-knn", "direct-lasso", "curve-fit",
+}
+
+// methods bundles every compared method fitted on one setup's history.
+type methods struct {
+	setup    *Setup
+	twoLevel *core.TwoLevelModel
+	twoBasis *core.TwoLevelModel
+	direct   map[string]baselines.Predictor
+	curveFit *baselines.CurveFit
+}
+
+// newMethods fits the two-level model and every baseline on the setup.
+func newMethods(s *Setup, seed uint64) (*methods, error) {
+	m := &methods{
+		setup:    s,
+		direct:   map[string]baselines.Predictor{},
+		curveFit: &baselines.CurveFit{Scales: s.Protocol.SmallScales},
+	}
+	tl, err := s.FitTwoLevel(seed, s.CoreConfig())
+	if err != nil {
+		return nil, fmt.Errorf("two-level: %w", err)
+	}
+	m.twoLevel = tl
+	basisCfg := s.CoreConfig()
+	basisCfg.Mode = core.ModeBasis
+	tb, err := s.FitTwoLevel(seed, basisCfg)
+	if err != nil {
+		return nil, fmt.Errorf("two-level-basis: %w", err)
+	}
+	m.twoBasis = tb
+	for _, b := range baselines.All() {
+		p, err := b.Train(rng.New(seed^0xbadc0de), s.Train)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		m.direct[b.Name] = p
+	}
+	return m, nil
+}
+
+// predictFn returns the prediction closure for a named method at a scale.
+// Unknown methods panic (programming error in an experiment).
+func (m *methods) predictFn(name string, scale int) func(cfg dataset.Config, curve []float64) float64 {
+	switch name {
+	case "two-level", "two-level-basis":
+		mdl := m.twoLevel
+		if name == "two-level-basis" {
+			mdl = m.twoBasis
+		}
+		idx := -1
+		for i, s := range mdl.Cfg.LargeScales {
+			if s == scale {
+				idx = i
+			}
+		}
+		if idx >= 0 {
+			return func(cfg dataset.Config, _ []float64) float64 {
+				return mdl.Predict(cfg.Params)[idx]
+			}
+		}
+		// small-scale query: answer with the interpolation level
+		for i, s := range mdl.Cfg.SmallScales {
+			if s == scale {
+				si := i
+				return func(cfg dataset.Config, _ []float64) float64 {
+					return mdl.PredictSmall(cfg.Params)[si]
+				}
+			}
+		}
+		return func(dataset.Config, []float64) float64 { return math.NaN() }
+	case "curve-fit":
+		return func(_ dataset.Config, curve []float64) float64 {
+			v, err := m.curveFit.PredictFromCurve(curve, scale)
+			if err != nil {
+				return math.NaN()
+			}
+			return v
+		}
+	default:
+		p, ok := m.direct[name]
+		if !ok {
+			panic(fmt.Sprintf("experiments: unknown method %q", name))
+		}
+		return func(cfg dataset.Config, _ []float64) float64 {
+			return p.PredictAt(cfg.Params, scale)
+		}
+	}
+}
+
+// mapeAt evaluates one method's MAPE at one scale over the test set.
+func (m *methods) mapeAt(name string, scale int) float64 {
+	mape, n := m.setup.EvalAtScale(scale, m.predictFn(name, scale))
+	if n == 0 {
+		return math.NaN()
+	}
+	return mape
+}

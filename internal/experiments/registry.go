@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hpcsim"
+)
+
+// Experiment is one reconstructed table or figure from the paper's
+// evaluation (see DESIGN.md for the index and EXPERIMENTS.md for results).
+type Experiment struct {
+	ID    string
+	Title string
+	// Run executes the experiment under a protocol, returning one report
+	// per application (most experiments) or a single combined report.
+	Run func(p Protocol) ([]*Report, error)
+}
+
+// paperApps returns the two applications standing in for the paper's two
+// evaluation programs, in presentation order.
+func paperApps() []hpcsim.App {
+	return []hpcsim.App{hpcsim.NewSMG(), hpcsim.NewLulesh()}
+}
+
+// allApps additionally includes the extension applications.
+func allApps() []hpcsim.App {
+	return append(paperApps(), hpcsim.NewKripke(), hpcsim.NewCG())
+}
+
+// Registry returns every experiment keyed by id, in report order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Application parameter spaces and scales", Run: runTable1},
+		{ID: "table2", Title: "Interpolation-level accuracy at small scales (MAPE)", Run: runTable2},
+		{ID: "table3", Title: "Extrapolation accuracy at large scales: two-level vs baselines (MAPE)", Run: runTable3},
+		{ID: "table4", Title: "Ablation study of the two-level model (MAPE)", Run: runTable4},
+		{ID: "table5", Title: "Paired-bootstrap significance of the headline comparison", Run: runTable5},
+		{ID: "fig1", Title: "Prediction error vs target scale, per method", Run: runFig1},
+		{ID: "fig2", Title: "Sensitivity to the number of clusters K", Run: runFig2},
+		{ID: "fig3", Title: "Learning curve: error vs training configurations", Run: runFig3},
+		{ID: "fig4", Title: "Predicted vs actual runtime at the largest scale", Run: runFig4},
+		{ID: "fig5", Title: "Sensitivity to the set of small scales", Run: runFig5},
+		{ID: "fig6", Title: "Robustness to measurement noise", Run: runFig6},
+		{ID: "fig7", Title: "Sensitivity to the amount of large-scale history", Run: runFig7},
+		{ID: "fig8", Title: "Robustness across machine presets", Run: runFig8},
+	}
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := IDs()
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	r := Registry()
+	out := make([]string, len(r))
+	for i, e := range r {
+		out[i] = e.ID
+	}
+	sort.Strings(out)
+	return out
+}

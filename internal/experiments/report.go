@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is a rendered experiment result: one table (for R-Table*) or one
+// series table (for R-Fig*, whose columns are the plotted series).
+type Report struct {
+	ID    string
+	Title string
+	Notes []string // qualitative expectations / caveats printed below
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a row, padding or truncating to the column count.
+func (r *Report) AddRow(cells ...string) {
+	row := make([]string, len(r.Cols))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Fprint renders the report as an aligned ASCII table.
+func (r *Report) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(r.Cols))
+	for i, c := range r.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(r.Cols)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the report to a string.
+func (r *Report) String() string {
+	var b strings.Builder
+	if err := r.Fprint(&b); err != nil {
+		return fmt.Sprintf("<report render error: %v>", err)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the report as CSV (header + rows), for plotting.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(r.Cols, ",")); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// pct formats a MAPE fraction as a percentage cell.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

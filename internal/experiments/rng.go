@@ -1,0 +1,6 @@
+package experiments
+
+import "repro/internal/rng"
+
+// rngFor is a tiny indirection so experiment files don't each import rng.
+func rngFor(seed uint64) *rng.Source { return rng.New(seed) }

@@ -1,0 +1,246 @@
+// Package forest implements a random-forest regressor over CART trees
+// (bootstrap bagging plus per-node feature subsampling). The forest is the
+// interpolation-level learner of the paper's two-level model: one forest is
+// trained per small scale, mapping application input parameters to runtime
+// at that scale.
+//
+// Training is embarrassingly parallel across trees; Fit fans the work out
+// over a bounded worker pool, with deterministic results for a fixed seed
+// regardless of GOMAXPROCS (each tree draws from its own pre-split RNG).
+package forest
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/tree"
+)
+
+// Params configures a random forest. The zero value is not valid; use
+// Defaults and override.
+type Params struct {
+	Trees int // number of trees
+	// MaxFeatures per split; <= 0 selects max(1, p/2). Runtime surfaces
+	// are products of a few strong parameters, so heavier feature
+	// sampling (Breiman's p/3) starves splits of signal; p/2 measures
+	// best on the workloads here.
+	MaxFeatures int
+	Tree        tree.Params // per-tree growth controls (MaxFeatures is overridden)
+	// Workers bounds fitting parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Defaults returns the forest configuration used across the experiments.
+func Defaults() Params {
+	return Params{
+		Trees:       100,
+		MaxFeatures: 0,
+		Tree:        tree.Defaults(),
+	}
+}
+
+// Forest is a fitted random-forest regressor.
+type Forest struct {
+	Trees    []*tree.Tree `json:"trees"`
+	Features int          `json:"features"`
+	// OOBIndices[i] lists, per tree, the rows NOT in its bootstrap sample.
+	// Kept for OOB error estimation; may be nil after deserialization.
+	OOBIndices [][]int `json:"-"`
+	trainRows  int
+}
+
+// Fit trains a forest on x, y using randomness from r.
+func Fit(x *mat.Dense, y []float64, p Params, r *rng.Source) *Forest {
+	if x.Rows != len(y) {
+		panic(fmt.Sprintf("forest: %d rows vs %d targets", x.Rows, len(y)))
+	}
+	if x.Rows == 0 {
+		panic("forest: Fit on empty dataset")
+	}
+	if p.Trees <= 0 {
+		p.Trees = Defaults().Trees
+	}
+	mf := p.MaxFeatures
+	if mf <= 0 {
+		mf = x.Cols / 2
+		if mf < 1 {
+			mf = 1
+		}
+	}
+	tp := p.Tree
+	tp.MaxFeatures = mf
+
+	f := &Forest{
+		Trees:      make([]*tree.Tree, p.Trees),
+		Features:   x.Cols,
+		OOBIndices: make([][]int, p.Trees),
+		trainRows:  x.Rows,
+	}
+
+	// Pre-split one RNG per tree so the fit is deterministic under any
+	// degree of parallelism.
+	sources := make([]*rng.Source, p.Trees)
+	for i := range sources {
+		sources[i] = r.Split()
+	}
+
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > p.Trees {
+		workers = p.Trees
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				src := sources[i]
+				boot := src.Bootstrap(nil, x.Rows)
+				f.Trees[i] = tree.FitIndices(x, y, boot, tp, src)
+				f.OOBIndices[i] = oob(boot, x.Rows)
+			}
+		}()
+	}
+	for i := 0; i < p.Trees; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return f
+}
+
+// oob returns the sorted row indices absent from the bootstrap sample.
+func oob(boot []int, n int) []int {
+	in := make([]bool, n)
+	for _, i := range boot {
+		in[i] = true
+	}
+	out := []int{}
+	for i := 0; i < n; i++ {
+		if !in[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Predict returns the forest prediction (mean over trees) for v.
+func (f *Forest) Predict(v []float64) float64 {
+	if len(v) != f.Features {
+		panic(fmt.Sprintf("forest: predict with %d features, forest has %d", len(v), f.Features))
+	}
+	var s float64
+	for _, t := range f.Trees {
+		s += t.Predict(v)
+	}
+	return s / float64(len(f.Trees))
+}
+
+// PredictBatch fills dst with forest predictions for each row of x;
+// a nil dst is allocated.
+func (f *Forest) PredictBatch(x *mat.Dense, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, x.Rows)
+	}
+	if len(dst) != x.Rows {
+		panic("forest: PredictBatch dst length mismatch")
+	}
+	for i := 0; i < x.Rows; i++ {
+		dst[i] = f.Predict(x.Row(i))
+	}
+	return dst
+}
+
+// PredictQuantile returns the q-quantile of per-tree predictions for v,
+// a cheap prediction-uncertainty proxy.
+func (f *Forest) PredictQuantile(v []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("forest: quantile outside [0,1]")
+	}
+	preds := make([]float64, len(f.Trees))
+	for i, t := range f.Trees {
+		preds[i] = t.Predict(v)
+	}
+	sort.Float64s(preds)
+	pos := q * float64(len(preds)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return preds[lo]
+	}
+	frac := pos - float64(lo)
+	return preds[lo]*(1-frac) + preds[hi]*frac
+}
+
+// OOBError returns the out-of-bag mean squared error, the forest's internal
+// generalization estimate. It returns NaN when no row was ever out of bag
+// (only possible for tiny forests) or OOB bookkeeping is unavailable.
+func (f *Forest) OOBError(x *mat.Dense, y []float64) float64 {
+	if f.OOBIndices == nil {
+		return math.NaN()
+	}
+	sum := make([]float64, x.Rows)
+	cnt := make([]int, x.Rows)
+	for t, idxs := range f.OOBIndices {
+		for _, i := range idxs {
+			sum[i] += f.Trees[t].Predict(x.Row(i))
+			cnt[i]++
+		}
+	}
+	var mse float64
+	n := 0
+	for i := 0; i < x.Rows; i++ {
+		if cnt[i] == 0 {
+			continue
+		}
+		d := sum[i]/float64(cnt[i]) - y[i]
+		mse += d * d
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return mse / float64(n)
+}
+
+// PermutationImportance estimates feature importance by the increase in
+// prediction MSE on (x, y) when each column is permuted. Larger is more
+// important. The same permutation source r is used for all features.
+func (f *Forest) PermutationImportance(x *mat.Dense, y []float64, r *rng.Source) []float64 {
+	base := mse(f, x, y)
+	imp := make([]float64, x.Cols)
+	col := make([]float64, x.Rows)
+	xp := x.Clone()
+	for j := 0; j < x.Cols; j++ {
+		for i := 0; i < x.Rows; i++ {
+			col[i] = x.At(i, j)
+		}
+		perm := r.Perm(x.Rows)
+		for i := 0; i < x.Rows; i++ {
+			xp.Set(i, j, col[perm[i]])
+		}
+		imp[j] = mse(f, xp, y) - base
+		for i := 0; i < x.Rows; i++ { // restore column
+			xp.Set(i, j, col[i])
+		}
+	}
+	return imp
+}
+
+func mse(f *Forest, x *mat.Dense, y []float64) float64 {
+	var s float64
+	for i := 0; i < x.Rows; i++ {
+		d := f.Predict(x.Row(i)) - y[i]
+		s += d * d
+	}
+	return s / float64(x.Rows)
+}

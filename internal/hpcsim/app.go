@@ -1,0 +1,63 @@
+package hpcsim
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Breakdown decomposes one simulated execution's time by cost category.
+type Breakdown struct {
+	Setup      float64 // one-time setup / initialization
+	Compute    float64 // local floating-point work
+	Halo       float64 // nearest-neighbour communication
+	Collective float64 // allreduce / broadcast / barrier
+}
+
+// Total returns the end-to-end wall time of the breakdown.
+func (b Breakdown) Total() float64 {
+	return b.Setup + b.Compute + b.Halo + b.Collective
+}
+
+// CommFraction returns the fraction of total time spent communicating;
+// 0 for an empty breakdown.
+func (b Breakdown) CommFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return (b.Halo + b.Collective) / t
+}
+
+// App is a simulated HPC application: a parameter space plus an analytic
+// performance model that prices one execution at a given scale on a
+// machine. Implementations must be deterministic; stochastic effects are
+// the engine's job.
+type App interface {
+	// Name identifies the application in datasets and reports.
+	Name() string
+	// Space is the input-parameter space users sample configurations from.
+	Space() dataset.Space
+	// Model prices an execution. It returns an error for parameter vectors
+	// outside the space or scales the machine cannot host.
+	Model(params []float64, p int, m *Machine) (Breakdown, error)
+}
+
+// checkScale validates the process count against the machine.
+func checkScale(p int, m *Machine) error {
+	if p < 1 {
+		return fmt.Errorf("hpcsim: scale %d < 1", p)
+	}
+	if p > m.MaxProcs() {
+		return fmt.Errorf("hpcsim: scale %d exceeds machine capacity %d", p, m.MaxProcs())
+	}
+	return nil
+}
+
+// checkParams validates the vector width against the space.
+func checkParams(params []float64, sp dataset.Space) error {
+	if len(params) != len(sp.Params) {
+		return fmt.Errorf("hpcsim: %d params, app expects %d", len(params), len(sp.Params))
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package hpcsim
+
+import (
+	"repro/internal/dataset"
+)
+
+// CGApp is an HPCG-like preconditioned conjugate-gradient proxy: sparse
+// matrix-vector products over a 3D 27-point stencil plus the method's
+// signature cost — two global dot products (allreduces) every iteration.
+// Per-iteration compute shrinks with p while the latency-bound allreduces
+// do not, so CG has the earliest and sharpest communication wall of the
+// suite; it stresses the extrapolation level with curves that flatten
+// hard right beyond the observed scales.
+//
+// Parameters:
+//
+//	n     — global grid points per dimension (matrix order n³)
+//	iters — CG iterations
+//	nnzr  — average stencil nonzeros per row (sparsity knob)
+type CGApp struct {
+	// FlopsPerNonzero is the SpMV flop cost per stored nonzero.
+	FlopsPerNonzero float64
+	// VectorFlopsPerRow covers the AXPYs and dot products per row per
+	// iteration.
+	VectorFlopsPerRow float64
+}
+
+// NewCG returns the skeleton with reference cost constants.
+func NewCG() *CGApp {
+	return &CGApp{FlopsPerNonzero: 2, VectorFlopsPerRow: 10}
+}
+
+// Name implements App.
+func (a *CGApp) Name() string { return "cg" }
+
+// Space implements App.
+func (a *CGApp) Space() dataset.Space {
+	var grid []float64
+	for v := 64; v <= 256; v += 16 {
+		grid = append(grid, float64(v))
+	}
+	var iters []float64
+	for v := 50; v <= 500; v += 25 {
+		iters = append(iters, float64(v))
+	}
+	return dataset.Space{Params: []dataset.ParamDef{
+		{Name: "n", Values: grid},
+		{Name: "iters", Values: iters},
+		{Name: "nnzr", Values: []float64{7, 15, 27}},
+	}}
+}
+
+// Model implements App.
+func (a *CGApp) Model(params []float64, p int, m *Machine) (Breakdown, error) {
+	if err := checkParams(params, a.Space()); err != nil {
+		return Breakdown{}, err
+	}
+	if err := checkScale(p, m); err != nil {
+		return Breakdown{}, err
+	}
+	n := int(params[0])
+	iters := params[1]
+	nnzr := params[2]
+
+	d := NewDecomp3D(n, n, n, p)
+	rowsLocal := d.LocalVolume()
+
+	iterCompute := m.ComputeTime(rowsLocal*(nnzr*a.FlopsPerNonzero+a.VectorFlopsPerRow), p)
+
+	// SpMV halo: one exchange per iteration, face size grows with the
+	// stencil radius (wider stencils ship thicker halos).
+	var iterHalo float64
+	if faces := d.NeighbourFaces(); faces > 0 {
+		depth := 1.0
+		if nnzr > 7 {
+			depth = 2
+		}
+		faceBytes := d.MaxFaceArea() * depth * 8
+		iterHalo = m.HaloExchangeTime(faces, faceBytes, p)
+	}
+	// two dot products (8 bytes each) per iteration — the latency wall
+	iterCollective := 2 * m.AllreduceTime(8, p)
+
+	// setup: matrix assembly ~ 5 SpMVs plus an initial residual reduce
+	setup := 5*iterCompute + m.AllreduceTime(8, p)
+
+	return Breakdown{
+		Setup:      setup,
+		Compute:    iters * iterCompute,
+		Halo:       iters * iterHalo,
+		Collective: iters * iterCollective,
+	}, nil
+}
+
+// commWallScale returns (for documentation/tests) the approximate scale
+// where collective time overtakes compute for the given parameters.
+func (a *CGApp) commWallScale(params []float64, m *Machine) int {
+	for p := 2; p <= m.MaxProcs(); p *= 2 {
+		b, err := a.Model(params, p, m)
+		if err != nil {
+			return m.MaxProcs()
+		}
+		if b.Collective > b.Compute {
+			return p
+		}
+	}
+	return m.MaxProcs()
+}

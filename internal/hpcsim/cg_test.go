@@ -1,0 +1,77 @@
+package hpcsim
+
+import "testing"
+
+func TestCGCommWallExists(t *testing.T) {
+	// The smallest CG problem must hit its communication wall (collective
+	// > compute) within the machine, and well before the largest problem.
+	a := NewCG()
+	m := DefaultMachine()
+	small := []float64{64, 100, 7}
+	big := []float64{256, 100, 27}
+	wallSmall := a.commWallScale(small, m)
+	wallBig := a.commWallScale(big, m)
+	if wallSmall >= m.MaxProcs() {
+		t.Fatalf("small CG problem never hits its comm wall (wall at %d)", wallSmall)
+	}
+	if wallSmall >= wallBig {
+		t.Fatalf("comm wall not size-ordered: small %d vs big %d", wallSmall, wallBig)
+	}
+}
+
+func TestCGCollectivesDominateAtScale(t *testing.T) {
+	a := NewCG()
+	m := DefaultMachine()
+	cfg := []float64{64, 200, 7}
+	b, err := a.Model(cfg, 1024, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Collective <= b.Compute {
+		t.Fatalf("CG at p=1024 should be collective-bound: coll=%v comp=%v", b.Collective, b.Compute)
+	}
+}
+
+func TestCGStencilWidthCosts(t *testing.T) {
+	a := NewCG()
+	m := DefaultMachine()
+	narrow := []float64{128, 100, 7}
+	wide := []float64{128, 100, 27}
+	bn, err := a.Model(narrow, 64, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := a.Model(wide, 64, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw.Compute <= bn.Compute {
+		t.Fatal("wider stencil not more expensive to compute")
+	}
+	if bw.Halo <= bn.Halo {
+		t.Fatal("wider stencil not more expensive to exchange")
+	}
+}
+
+func TestCGIterationLinearity(t *testing.T) {
+	a := NewCG()
+	m := DefaultMachine()
+	c100 := []float64{128, 100, 15}
+	c200 := []float64{128, 200, 15}
+	b100, err := a.Model(c100, 32, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b200, err := a.Model(c200, 32, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// iteration-proportional parts double; setup does not
+	ratio := (b200.Compute + b200.Halo + b200.Collective) / (b100.Compute + b100.Halo + b100.Collective)
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Fatalf("iteration cost ratio = %v, want ~2", ratio)
+	}
+	if b200.Setup != b100.Setup {
+		t.Fatal("setup should not depend on iteration count")
+	}
+}

@@ -1,0 +1,130 @@
+package hpcsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Decomp3D is a 3D block decomposition of a global grid over a process grid.
+type Decomp3D struct {
+	Px, Py, Pz int // process grid
+	Nx, Ny, Nz int // global grid points
+}
+
+// Factor3 factors p into the most cubic process grid px >= py >= pz with
+// px*py*pz == p (the usual MPI_Dims_create behaviour). It panics for p < 1.
+func Factor3(p int) (px, py, pz int) {
+	if p < 1 {
+		panic(fmt.Sprintf("hpcsim: Factor3(%d)", p))
+	}
+	best := [3]int{p, 1, 1}
+	bestScore := math.Inf(1)
+	for a := 1; a*a*a <= p; a++ {
+		if p%a != 0 {
+			continue
+		}
+		q := p / a
+		for b := a; b*b <= q; b++ {
+			if q%b != 0 {
+				continue
+			}
+			c := q / b
+			// score: surface-to-volume proxy — prefer balanced factors
+			score := float64(a*b + b*c + a*c)
+			if score < bestScore {
+				bestScore = score
+				best = [3]int{c, b, a} // c >= b >= a
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+// NewDecomp3D builds the near-cubic decomposition of an nx×ny×nz grid over
+// p processes, assigning the largest process-grid factor to the largest
+// grid dimension.
+func NewDecomp3D(nx, ny, nz, p int) Decomp3D {
+	if nx < 1 || ny < 1 || nz < 1 {
+		panic(fmt.Sprintf("hpcsim: bad grid %dx%dx%d", nx, ny, nz))
+	}
+	px, py, pz := Factor3(p)
+	// sort grid dims descending with their identities
+	type dim struct{ n, id int }
+	dims := []dim{{nx, 0}, {ny, 1}, {nz, 2}}
+	// insertion sort by n descending
+	for i := 1; i < 3; i++ {
+		for j := i; j > 0 && dims[j].n > dims[j-1].n; j-- {
+			dims[j], dims[j-1] = dims[j-1], dims[j]
+		}
+	}
+	procs := []int{px, py, pz} // descending already
+	var asg [3]int
+	for i, d := range dims {
+		asg[d.id] = procs[i]
+	}
+	return Decomp3D{Px: asg[0], Py: asg[1], Pz: asg[2], Nx: nx, Ny: ny, Nz: nz}
+}
+
+// LocalDims returns the (ceiling) local block dimensions of the busiest
+// process — the one that bounds the step time under bulk-synchronous
+// execution.
+func (d Decomp3D) LocalDims() (lx, ly, lz float64) {
+	return math.Ceil(float64(d.Nx) / float64(d.Px)),
+		math.Ceil(float64(d.Ny) / float64(d.Py)),
+		math.Ceil(float64(d.Nz) / float64(d.Pz))
+}
+
+// LocalVolume returns the cell count of the busiest local block.
+func (d Decomp3D) LocalVolume() float64 {
+	lx, ly, lz := d.LocalDims()
+	return lx * ly * lz
+}
+
+// SurfaceArea returns the total halo surface (in cells) of the busiest
+// local block, counting only faces that have a neighbouring process.
+func (d Decomp3D) SurfaceArea() float64 {
+	lx, ly, lz := d.LocalDims()
+	var s float64
+	if d.Px > 1 {
+		s += 2 * ly * lz
+	}
+	if d.Py > 1 {
+		s += 2 * lx * lz
+	}
+	if d.Pz > 1 {
+		s += 2 * lx * ly
+	}
+	return s
+}
+
+// NeighbourFaces returns the number of communicating faces (0, 2, 4 or 6).
+func (d Decomp3D) NeighbourFaces() int {
+	f := 0
+	if d.Px > 1 {
+		f += 2
+	}
+	if d.Py > 1 {
+		f += 2
+	}
+	if d.Pz > 1 {
+		f += 2
+	}
+	return f
+}
+
+// MaxFaceArea returns the largest single face area (cells) of the local
+// block among communicating directions; 0 when there is no communication.
+func (d Decomp3D) MaxFaceArea() float64 {
+	lx, ly, lz := d.LocalDims()
+	var m float64
+	if d.Px > 1 && ly*lz > m {
+		m = ly * lz
+	}
+	if d.Py > 1 && lx*lz > m {
+		m = lx * lz
+	}
+	if d.Pz > 1 && lx*ly > m {
+		m = lx * ly
+	}
+	return m
+}

@@ -1,0 +1,154 @@
+package hpcsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// Engine executes applications on a machine, turning the deterministic
+// analytic breakdowns into noisy "measurements". Noise is multiplicative
+// log-normal (runtimes of repeated HPC runs are right-skewed), plus rare
+// system-interference events that stretch a run — the contamination that
+// makes single measurements untrustworthy on shared clusters.
+//
+// Every run's randomness is derived from (base seed, app, params, scale,
+// rep), so regenerating a history with the same seed reproduces it exactly
+// — run order and parallelism do not matter.
+type Engine struct {
+	Machine *Machine
+	// NoiseSigma is the sigma of the log-normal multiplicative noise;
+	// 0.03 (≈3% run-to-run variation) matches quiet production clusters.
+	NoiseSigma float64
+	// InterferenceProb is the per-run probability of an interference event.
+	InterferenceProb float64
+	// InterferenceScale is the mean relative slowdown of such an event.
+	InterferenceScale float64
+	// StragglerSigma, when > 0, models OS jitter under bulk-synchronous
+	// execution: every step waits for the slowest of p processes, so the
+	// expected slowdown grows with scale roughly as
+	// exp(sigma·sqrt(2·ln p)) for log-normally jittered processes. This
+	// makes noise heteroscedastic in scale — larger runs are noisier —
+	// which is how real machines behave. Off (0) by default so the
+	// reference experiments stay comparable to the plain noise model.
+	StragglerSigma float64
+	// Seed is the base seed all per-run streams derive from.
+	Seed uint64
+}
+
+// NewEngine returns an engine with the reference noise model on machine m
+// (nil selects DefaultMachine).
+func NewEngine(m *Machine, seed uint64) *Engine {
+	if m == nil {
+		m = DefaultMachine()
+	}
+	return &Engine{
+		Machine:           m,
+		NoiseSigma:        0.03,
+		InterferenceProb:  0.02,
+		InterferenceScale: 0.15,
+		Seed:              seed,
+	}
+}
+
+// runSeed derives the per-run stream deterministically from run identity.
+func (e *Engine) runSeed(app string, params []float64, scale, rep int) uint64 {
+	// FNV-1a over the identifying bytes
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(e.Seed)
+	for _, c := range []byte(app) {
+		h ^= uint64(c)
+		h *= prime
+	}
+	for _, pv := range params {
+		mix(math.Float64bits(pv))
+	}
+	mix(uint64(scale))
+	mix(uint64(rep))
+	return h
+}
+
+// Run simulates one execution and returns the measured wall time.
+// rep distinguishes repeated measurements of the same point.
+func (e *Engine) Run(app App, params []float64, scale, rep int) (float64, error) {
+	b, err := app.Model(params, scale, e.Machine)
+	if err != nil {
+		return 0, err
+	}
+	t := b.Total()
+	if t <= 0 {
+		return 0, fmt.Errorf("hpcsim: model produced non-positive time %v", t)
+	}
+	r := rng.New(e.runSeed(app.Name(), params, scale, rep))
+	if e.NoiseSigma > 0 {
+		t *= r.LogNormal(0, e.NoiseSigma)
+	}
+	if e.StragglerSigma > 0 && scale > 1 {
+		// expected max of `scale` log-normal(0, sigma) step times, jittered
+		mean := math.Exp(e.StragglerSigma * math.Sqrt(2*math.Log(float64(scale))))
+		t *= mean * r.LogNormal(0, e.StragglerSigma/4)
+	}
+	if e.InterferenceProb > 0 && r.Bernoulli(e.InterferenceProb) {
+		t *= 1 + r.Exp(1/e.InterferenceScale)
+	}
+	return t, nil
+}
+
+// Breakdown returns the noise-free analytic breakdown — the simulator's
+// ground truth, used by diagnostics and the noise-sensitivity experiment.
+func (e *Engine) Breakdown(app App, params []float64, scale int) (Breakdown, error) {
+	return app.Model(params, scale, e.Machine)
+}
+
+// HistorySpec describes a history-generation job.
+type HistorySpec struct {
+	Configs [][]float64 // input-parameter vectors
+	Scales  []int       // scales to run every configuration at
+	Reps    int         // repeated measurements per (config, scale); >= 1
+}
+
+// GenerateHistory runs every configuration at every scale Reps times and
+// returns the execution-history table.
+func (e *Engine) GenerateHistory(app App, spec HistorySpec) (*dataset.Table, error) {
+	if spec.Reps < 1 {
+		spec.Reps = 1
+	}
+	if len(spec.Configs) == 0 || len(spec.Scales) == 0 {
+		return nil, fmt.Errorf("hpcsim: empty history spec")
+	}
+	t := dataset.NewTable(app.Name(), app.Space().Names())
+	for _, cfg := range spec.Configs {
+		for _, s := range spec.Scales {
+			for rep := 0; rep < spec.Reps; rep++ {
+				rt, err := e.Run(app, cfg, s, rep)
+				if err != nil {
+					return nil, fmt.Errorf("hpcsim: config %v scale %d: %w", cfg, s, err)
+				}
+				t.Add(dataset.Run{Params: cfg, Scale: s, Runtime: rt})
+			}
+		}
+	}
+	return t, nil
+}
+
+// Apps returns the registry of built-in application skeletons.
+func Apps() map[string]App {
+	return map[string]App{
+		"smg2000": NewSMG(),
+		"lulesh":  NewLulesh(),
+		"kripke":  NewKripke(),
+		"cg":      NewCG(),
+	}
+}

@@ -1,0 +1,478 @@
+package hpcsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactor3Product(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := int(raw)%4096 + 1
+		a, b, c := Factor3(p)
+		return a*b*c == p && a >= b && b >= c && c >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactor3Cubic(t *testing.T) {
+	cases := map[int][3]int{
+		1:    {1, 1, 1},
+		2:    {2, 1, 1},
+		8:    {2, 2, 2},
+		64:   {4, 4, 4},
+		12:   {3, 2, 2},
+		1024: {16, 8, 8},
+	}
+	for p, want := range cases {
+		a, b, c := Factor3(p)
+		if [3]int{a, b, c} != want {
+			t.Fatalf("Factor3(%d) = %d,%d,%d want %v", p, a, b, c, want)
+		}
+	}
+}
+
+func TestFactor3Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Factor3(0)
+}
+
+func TestDecompLocalDims(t *testing.T) {
+	d := NewDecomp3D(128, 128, 128, 8)
+	lx, ly, lz := d.LocalDims()
+	if lx != 64 || ly != 64 || lz != 64 {
+		t.Fatalf("local dims %v %v %v", lx, ly, lz)
+	}
+	if d.LocalVolume() != 64*64*64 {
+		t.Fatalf("volume %v", d.LocalVolume())
+	}
+	if d.NeighbourFaces() != 6 {
+		t.Fatalf("faces %d", d.NeighbourFaces())
+	}
+	if d.SurfaceArea() != 6*64*64 {
+		t.Fatalf("surface %v", d.SurfaceArea())
+	}
+}
+
+func TestDecompSingleProcessNoComm(t *testing.T) {
+	d := NewDecomp3D(100, 100, 100, 1)
+	if d.NeighbourFaces() != 0 || d.SurfaceArea() != 0 || d.MaxFaceArea() != 0 {
+		t.Fatal("p=1 decomposition should have no communication")
+	}
+}
+
+func TestDecompAssignsLargestFactorToLargestDim(t *testing.T) {
+	d := NewDecomp3D(512, 64, 64, 8)
+	if d.Px < d.Py || d.Px < d.Pz {
+		t.Fatalf("largest dim did not get largest factor: %d %d %d", d.Px, d.Py, d.Pz)
+	}
+}
+
+func TestDecompVolumeConservedApproximately(t *testing.T) {
+	// busiest-block volume * p >= global volume (ceiling effect)
+	d := NewDecomp3D(100, 90, 70, 12)
+	global := float64(100 * 90 * 70)
+	if d.LocalVolume()*12 < global {
+		t.Fatal("local volume too small to cover global grid")
+	}
+}
+
+func TestMachineValidate(t *testing.T) {
+	m := DefaultMachine()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *m
+	bad.Nodes = 0
+	if bad.Validate() == nil {
+		t.Fatal("accepted zero nodes")
+	}
+	bad2 := *m
+	bad2.LatencyInter = 0
+	if bad2.Validate() == nil {
+		t.Fatal("accepted zero latency")
+	}
+}
+
+func TestComputeTimeScalesWithFlops(t *testing.T) {
+	m := DefaultMachine()
+	t1 := m.ComputeTime(1e9, 1)
+	t2 := m.ComputeTime(2e9, 1)
+	if math.Abs(t2-2*t1) > 1e-12 {
+		t.Fatalf("compute not linear in flops: %v vs %v", t1, t2)
+	}
+	if m.ComputeTime(0, 1) != 0 {
+		t.Fatal("zero flops should cost zero")
+	}
+}
+
+func TestComputeTimeContentionDerating(t *testing.T) {
+	m := DefaultMachine()
+	// fully packed node must be slower per-flop than a single active core
+	alone := m.ComputeTime(1e9, 1)
+	packed := m.ComputeTime(1e9, m.CoresPerNode)
+	if packed <= alone {
+		t.Fatalf("no memory contention derating: alone=%v packed=%v", alone, packed)
+	}
+}
+
+func TestSendTimeComponents(t *testing.T) {
+	m := DefaultMachine()
+	small := m.SendTime(8, 2)
+	big := m.SendTime(1e6, 2)
+	if big <= small {
+		t.Fatal("bigger message not slower")
+	}
+	if small < m.LatencyIntra {
+		t.Fatal("send cheaper than latency")
+	}
+}
+
+func TestSendTimeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	DefaultMachine().SendTime(-1, 2)
+}
+
+func TestCollectivesGrowLogarithmically(t *testing.T) {
+	m := DefaultMachine()
+	if m.AllreduceTime(8, 1) != 0 || m.BarrierTime(1) != 0 {
+		t.Fatal("p=1 collectives should be free")
+	}
+	t4 := m.AllreduceTime(8, 4)
+	t16 := m.AllreduceTime(8, 16)
+	t256 := m.AllreduceTime(8, 256)
+	if !(t4 < t16 && t16 < t256) {
+		t.Fatalf("allreduce not increasing: %v %v %v", t4, t16, t256)
+	}
+	// Log growth within the multi-node regime: 256 -> 4096 procs is 16x
+	// the processes but only 12/8 the rounds (plus a small latency-blend
+	// increase), so the cost ratio must stay well below linear.
+	t4096 := m.AllreduceTime(8, 4096)
+	if t4096 > 3*t256 {
+		t.Fatalf("allreduce not logarithmic in the multi-node regime: %v -> %v", t256, t4096)
+	}
+}
+
+func TestOffNodePlacementRaisesLatency(t *testing.T) {
+	m := DefaultMachine()
+	intra := m.effLatency(8)                  // fits one node
+	inter := m.effLatency(8 * m.CoresPerNode) // spans 8 nodes
+	if inter <= intra {
+		t.Fatalf("multi-node latency %v not above single-node %v", inter, intra)
+	}
+}
+
+func TestHaloExchangeZeroCases(t *testing.T) {
+	m := DefaultMachine()
+	if m.HaloExchangeTime(0, 100, 4) != 0 {
+		t.Fatal("0 faces should be free")
+	}
+	if m.HaloExchangeTime(6, 100, 1) != 0 {
+		t.Fatal("p=1 should be free")
+	}
+}
+
+// ---- application models ----
+
+func appsUnderTest() []App {
+	return []App{NewSMG(), NewLulesh(), NewKripke(), NewCG()}
+}
+
+func midConfig(a App) []float64 {
+	sp := a.Space()
+	cfg := make([]float64, len(sp.Params))
+	for i, p := range sp.Params {
+		if len(p.Values) > 0 {
+			cfg[i] = p.Values[len(p.Values)/2]
+		} else {
+			cfg[i] = (p.Lo + p.Hi) / 2
+		}
+	}
+	return cfg
+}
+
+func TestAppsPositiveBreakdown(t *testing.T) {
+	m := DefaultMachine()
+	for _, a := range appsUnderTest() {
+		cfg := midConfig(a)
+		for _, p := range []int{1, 2, 16, 64, 256, 1024} {
+			b, err := a.Model(cfg, p, m)
+			if err != nil {
+				t.Fatalf("%s at p=%d: %v", a.Name(), p, err)
+			}
+			if b.Total() <= 0 || b.Compute <= 0 {
+				t.Fatalf("%s at p=%d: non-positive breakdown %+v", a.Name(), p, b)
+			}
+			if p == 1 && (b.Halo != 0) {
+				t.Fatalf("%s at p=1 has halo time %v", a.Name(), b.Halo)
+			}
+		}
+	}
+}
+
+func TestAppsComputeShrinksWithScale(t *testing.T) {
+	m := DefaultMachine()
+	for _, a := range appsUnderTest() {
+		cfg := midConfig(a)
+		b64, err := a.Model(cfg, 64, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1024, err := a.Model(cfg, 1024, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b1024.Compute >= b64.Compute {
+			t.Fatalf("%s: compute did not shrink 64->1024: %v -> %v", a.Name(), b64.Compute, b1024.Compute)
+		}
+	}
+}
+
+func TestAppsCommFractionGrowsWithScale(t *testing.T) {
+	m := DefaultMachine()
+	for _, a := range appsUnderTest() {
+		cfg := midConfig(a)
+		b16, err := a.Model(cfg, 16, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1024, err := a.Model(cfg, 1024, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b1024.CommFraction() <= b16.CommFraction() {
+			t.Fatalf("%s: comm fraction did not grow with scale: %v -> %v",
+				a.Name(), b16.CommFraction(), b1024.CommFraction())
+		}
+	}
+}
+
+func TestAppsStrongScalingSpeedsUpInitially(t *testing.T) {
+	m := DefaultMachine()
+	for _, a := range appsUnderTest() {
+		cfg := midConfig(a)
+		b2, err := a.Model(cfg, 2, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b32, err := a.Model(cfg, 32, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b32.Total() >= b2.Total() {
+			t.Fatalf("%s: no speedup from 2 to 32 procs: %v -> %v", a.Name(), b2.Total(), b32.Total())
+		}
+	}
+}
+
+func TestAppsRejectBadInputs(t *testing.T) {
+	m := DefaultMachine()
+	for _, a := range appsUnderTest() {
+		if _, err := a.Model([]float64{1}, 4, m); err == nil {
+			t.Fatalf("%s accepted short param vector", a.Name())
+		}
+		cfg := midConfig(a)
+		if _, err := a.Model(cfg, 0, m); err == nil {
+			t.Fatalf("%s accepted scale 0", a.Name())
+		}
+		if _, err := a.Model(cfg, m.MaxProcs()+1, m); err == nil {
+			t.Fatalf("%s accepted over-capacity scale", a.Name())
+		}
+	}
+}
+
+func TestAppsBiggerProblemsRunLonger(t *testing.T) {
+	m := DefaultMachine()
+	// first parameter of each app is a size knob
+	for _, a := range appsUnderTest() {
+		sp := a.Space()
+		small := midConfig(a)
+		big := midConfig(a)
+		small[0] = sp.Params[0].Values[0]
+		big[0] = sp.Params[0].Values[len(sp.Params[0].Values)-1]
+		bs, err := a.Model(small, 16, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := a.Model(big, 16, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bb.Total() <= bs.Total() {
+			t.Fatalf("%s: bigger problem not slower: %v vs %v", a.Name(), bb.Total(), bs.Total())
+		}
+	}
+}
+
+// ---- engine ----
+
+func TestEngineDeterminism(t *testing.T) {
+	e := NewEngine(nil, 99)
+	a := NewSMG()
+	cfg := midConfig(a)
+	t1, err := e.Run(a, cfg, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.Run(a, cfg, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatal("same run not reproducible")
+	}
+	t3, err := e.Run(a, cfg, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 == t3 {
+		t.Fatal("different reps produced identical measurements")
+	}
+}
+
+func TestEngineSeedChangesMeasurements(t *testing.T) {
+	a := NewLulesh()
+	cfg := midConfig(a)
+	e1 := NewEngine(nil, 1)
+	e2 := NewEngine(nil, 2)
+	v1, _ := e1.Run(a, cfg, 32, 0)
+	v2, _ := e2.Run(a, cfg, 32, 0)
+	if v1 == v2 {
+		t.Fatal("different base seeds gave identical measurement")
+	}
+}
+
+func TestEngineNoiseMagnitude(t *testing.T) {
+	e := NewEngine(nil, 5)
+	e.InterferenceProb = 0 // isolate log-normal noise
+	a := NewSMG()
+	cfg := midConfig(a)
+	truth, err := e.Breakdown(a, cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const reps = 200
+	for rep := 0; rep < reps; rep++ {
+		v, err := e.Run(a, cfg, 64, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(v-truth.Total()) / truth.Total()
+		sum += rel
+		if rel > 0.25 {
+			t.Fatalf("rep %d deviates %v from truth without interference", rep, rel)
+		}
+	}
+	if mean := sum / reps; mean > 0.06 {
+		t.Fatalf("mean relative noise %v too large for sigma=0.03", mean)
+	}
+}
+
+func TestEngineInterferenceOnlyStretches(t *testing.T) {
+	e := NewEngine(nil, 7)
+	e.NoiseSigma = 0
+	e.InterferenceProb = 1 // always interfere
+	a := NewSMG()
+	cfg := midConfig(a)
+	truth, _ := e.Breakdown(a, cfg, 64)
+	v, err := e.Run(a, cfg, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= truth.Total() {
+		t.Fatal("interference did not stretch the run")
+	}
+}
+
+func TestGenerateHistoryShape(t *testing.T) {
+	e := NewEngine(nil, 11)
+	a := NewKripke()
+	configs := [][]float64{midConfig(a), midConfig(a)}
+	configs[1][0] = a.Space().Params[0].Values[0]
+	tbl, err := e.GenerateHistory(a, HistorySpec{
+		Configs: configs,
+		Scales:  []int{2, 4, 8},
+		Reps:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2*3*3 {
+		t.Fatalf("history has %d runs, want 18", tbl.Len())
+	}
+	if tbl.App != "kripke" {
+		t.Fatalf("app name %q", tbl.App)
+	}
+	scales := tbl.Scales()
+	if len(scales) != 3 || scales[0] != 2 || scales[2] != 8 {
+		t.Fatalf("scales %v", scales)
+	}
+}
+
+func TestGenerateHistoryEmptySpec(t *testing.T) {
+	e := NewEngine(nil, 1)
+	if _, err := e.GenerateHistory(NewSMG(), HistorySpec{}); err == nil {
+		t.Fatal("accepted empty spec")
+	}
+}
+
+func TestGenerateHistoryBadScale(t *testing.T) {
+	e := NewEngine(nil, 1)
+	a := NewSMG()
+	_, err := e.GenerateHistory(a, HistorySpec{
+		Configs: [][]float64{midConfig(a)},
+		Scales:  []int{1 << 20},
+	})
+	if err == nil {
+		t.Fatal("accepted impossible scale")
+	}
+}
+
+func TestAppsRegistry(t *testing.T) {
+	apps := Apps()
+	for _, name := range []string{"smg2000", "lulesh", "kripke", "cg"} {
+		a, ok := apps[name]
+		if !ok {
+			t.Fatalf("app %q missing from registry", name)
+		}
+		if a.Name() != name {
+			t.Fatalf("registry key %q maps to app named %q", name, a.Name())
+		}
+	}
+}
+
+func BenchmarkSMGModel(b *testing.B) {
+	m := DefaultMachine()
+	a := NewSMG()
+	cfg := midConfig(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Model(cfg, 256, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateHistory(b *testing.B) {
+	e := NewEngine(nil, 1)
+	a := NewLulesh()
+	configs := [][]float64{midConfig(a)}
+	spec := HistorySpec{Configs: configs, Scales: []int{2, 4, 8, 16, 32, 64}, Reps: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.GenerateHistory(a, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

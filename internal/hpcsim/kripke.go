@@ -1,0 +1,87 @@
+package hpcsim
+
+import (
+	"repro/internal/dataset"
+)
+
+// KripkeApp is a Kripke-like deterministic transport (Sn sweep) proxy. Its
+// signature cost is the wavefront sweep: work flows diagonally across the
+// process grid, so every sweep pays a pipeline-fill latency proportional
+// to px+py+pz — a term that *grows* with scale no matter how small the
+// local work gets, giving this app the earliest strong-scaling turnaround
+// of the three skeletons. Included as the extension app beyond the paper's
+// two.
+//
+// Parameters:
+//
+//	zones      — global zones per dimension (mesh is zones³)
+//	directions — discrete ordinates (angles)
+//	groups     — energy groups
+//	iters      — source iterations (sweeps over all octants)
+type KripkeApp struct {
+	// FlopsPerUnknown is the per-(zone,direction,group) flop cost of one
+	// sweep visit.
+	FlopsPerUnknown float64
+}
+
+// NewKripke returns the skeleton with reference cost constants.
+func NewKripke() *KripkeApp {
+	return &KripkeApp{FlopsPerUnknown: 36}
+}
+
+// Name implements App.
+func (a *KripkeApp) Name() string { return "kripke" }
+
+// Space implements App.
+func (a *KripkeApp) Space() dataset.Space {
+	var zones []float64
+	for v := 32; v <= 96; v += 8 {
+		zones = append(zones, float64(v))
+	}
+	return dataset.Space{Params: []dataset.ParamDef{
+		{Name: "zones", Values: zones},
+		{Name: "directions", Values: []float64{8, 16, 24, 32, 48, 64, 96}},
+		{Name: "groups", Values: []float64{8, 16, 32, 48, 64}},
+		{Name: "iters", Values: []float64{4, 6, 8, 10, 12, 16}},
+	}}
+}
+
+// Model implements App.
+func (a *KripkeApp) Model(params []float64, p int, m *Machine) (Breakdown, error) {
+	if err := checkParams(params, a.Space()); err != nil {
+		return Breakdown{}, err
+	}
+	if err := checkScale(p, m); err != nil {
+		return Breakdown{}, err
+	}
+	zones := int(params[0])
+	dirs := params[1]
+	groups := params[2]
+	iters := params[3]
+
+	d := NewDecomp3D(zones, zones, zones, p)
+	unknownsLocal := d.LocalVolume() * dirs * groups
+
+	// One sweep (all 8 octants pipelined, simplified to one pass):
+	sweepCompute := m.ComputeTime(unknownsLocal*a.FlopsPerUnknown, p)
+
+	// Pipeline fill: the wavefront crosses px+py+pz-2 stages; each stage
+	// hands an angular flux face downstream.
+	stages := float64(d.Px + d.Py + d.Pz - 2)
+	faceBytes := d.MaxFaceArea() * dirs * groups * 8 / 8 // one face per stage, an octant's share
+	var sweepPipeline float64
+	if p > 1 {
+		sweepPipeline = stages * (m.effLatency(p) + faceBytes/m.effBandwidth(p))
+	}
+	// Convergence check per iteration: allreduce over groups.
+	iterCollective := m.AllreduceTime(groups*8, p)
+
+	setup := sweepCompute + m.BroadcastTime(16384, p)
+
+	return Breakdown{
+		Setup:      setup,
+		Compute:    iters * sweepCompute,
+		Halo:       iters * sweepPipeline,
+		Collective: iters * iterCollective,
+	}, nil
+}

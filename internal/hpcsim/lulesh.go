@@ -1,0 +1,93 @@
+package hpcsim
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// LuleshApp is a LULESH-like explicit shock-hydrodynamics proxy: a
+// Lagrangian mesh of s³ global elements advanced for a fixed number of
+// time steps. Every step does heavy per-element compute, exchanges nodal
+// and element fields with face neighbours, and ends in a global 8-byte
+// allreduce for the stable time increment — the collective whose log(p)
+// latency term dominates small problems at large scale.
+//
+// Parameters:
+//
+//	s       — global edge length in elements (mesh is s³)
+//	steps   — number of simulated time steps
+//	regions — material-region count; more regions mean more divergent
+//	          per-element work (the real code's region loop overhead)
+type LuleshApp struct {
+	// FlopsPerElem is the per-element per-step flop cost at regions = 1.
+	FlopsPerElem float64
+	// RegionPenalty adds cost per doubling of the region count.
+	RegionPenalty float64
+	// ExchangesPerStep is the number of halo exchanges per step (LULESH
+	// does three: force, position/velocity, and gradient fields).
+	ExchangesPerStep int
+}
+
+// NewLulesh returns the skeleton with reference cost constants.
+func NewLulesh() *LuleshApp {
+	return &LuleshApp{FlopsPerElem: 350, RegionPenalty: 0.06, ExchangesPerStep: 3}
+}
+
+// Name implements App.
+func (a *LuleshApp) Name() string { return "lulesh" }
+
+// Space implements App.
+func (a *LuleshApp) Space() dataset.Space {
+	var edges []float64
+	for v := 48; v <= 192; v += 8 {
+		edges = append(edges, float64(v))
+	}
+	var steps []float64
+	for v := 100; v <= 1000; v += 50 {
+		steps = append(steps, float64(v))
+	}
+	return dataset.Space{Params: []dataset.ParamDef{
+		{Name: "s", Values: edges},
+		{Name: "steps", Values: steps},
+		{Name: "regions", Values: []float64{1, 2, 4, 8, 16, 32, 64}},
+	}}
+}
+
+// Model implements App.
+func (a *LuleshApp) Model(params []float64, p int, m *Machine) (Breakdown, error) {
+	if err := checkParams(params, a.Space()); err != nil {
+		return Breakdown{}, err
+	}
+	if err := checkScale(p, m); err != nil {
+		return Breakdown{}, err
+	}
+	s := int(params[0])
+	steps := params[1]
+	regions := params[2]
+
+	const bytesPerNodeField = 8.0 * 3 // 3 components per nodal vector field
+	d := NewDecomp3D(s, s, s, p)
+
+	flopsPerElem := a.FlopsPerElem * (1 + a.RegionPenalty*math.Log2(regions+1))
+	stepCompute := m.ComputeTime(d.LocalVolume()*flopsPerElem, p)
+
+	var stepHalo float64
+	if faces := d.NeighbourFaces(); faces > 0 {
+		faceBytes := d.MaxFaceArea() * bytesPerNodeField
+		stepHalo = float64(a.ExchangesPerStep) * m.HaloExchangeTime(faces, faceBytes, p)
+	}
+	// dt reduction (8 bytes) + periodic energy check every 10 steps
+	stepCollective := m.AllreduceTime(8, p) + 0.1*m.AllreduceTime(8, p)
+
+	// Setup: mesh construction + region assignment, about 10 steps of
+	// compute plus a broadcast of the run configuration.
+	setup := 10*stepCompute + m.BroadcastTime(4096, p)
+
+	return Breakdown{
+		Setup:      setup,
+		Compute:    steps * stepCompute,
+		Halo:       steps * stepHalo,
+		Collective: steps * stepCollective,
+	}, nil
+}

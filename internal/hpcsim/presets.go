@@ -1,0 +1,54 @@
+package hpcsim
+
+// Machine presets beyond DefaultMachine, used by the machine-sensitivity
+// experiment (R-Fig8) and available to library users. The presets bracket
+// the default along the two axes that shape scaling curves: node fatness
+// (memory contention) and network quality (communication cost).
+
+// FatNodeMachine is a cluster of fewer, fatter nodes: 64 nodes × 32 cores
+// with proportionally higher memory bandwidth. More of any process count
+// fits inside a node, intra-node memory contention is stronger, and NIC
+// sharing is heavier — the regime of modern multi-core clusters.
+func FatNodeMachine() *Machine {
+	return &Machine{
+		Name:              "sim-fatnode-64x32",
+		Nodes:             64,
+		CoresPerNode:      32,
+		CoreFlops:         4.0e9,
+		LatencyIntra:      0.5e-6,
+		LatencyInter:      2.0e-6,
+		BandwidthIntra:    10.0e9,
+		BandwidthInter:    12.0e9,
+		MemoryBW:          150.0e9,
+		MemTrafficPerFlop: 0.8,
+	}
+}
+
+// SlowNetworkMachine is the default cluster with a gigabit-class
+// interconnect: high latency, low bandwidth. Communication dominates much
+// earlier, pushing every application's strong-scaling turnaround toward
+// smaller process counts — the hardest regime for extrapolation because
+// the up-turn happens beyond the observed scales for fewer configurations.
+func SlowNetworkMachine() *Machine {
+	return &Machine{
+		Name:              "sim-slownet-256x8",
+		Nodes:             256,
+		CoresPerNode:      8,
+		CoreFlops:         4.0e9,
+		LatencyIntra:      0.6e-6,
+		LatencyInter:      25.0e-6,
+		BandwidthIntra:    6.0e9,
+		BandwidthInter:    0.8e9,
+		MemoryBW:          60.0e9,
+		MemTrafficPerFlop: 0.5,
+	}
+}
+
+// Machines returns the named machine presets.
+func Machines() map[string]*Machine {
+	return map[string]*Machine{
+		"default": DefaultMachine(),
+		"fatnode": FatNodeMachine(),
+		"slownet": SlowNetworkMachine(),
+	}
+}

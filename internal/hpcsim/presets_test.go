@@ -1,0 +1,69 @@
+package hpcsim
+
+import "testing"
+
+func TestPresetsValid(t *testing.T) {
+	for name, m := range Machines() {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.MaxProcs() < 1024 {
+			t.Fatalf("%s can host only %d processes; experiments need 1024", name, m.MaxProcs())
+		}
+	}
+}
+
+func TestPresetsHostAllApps(t *testing.T) {
+	for mname, m := range Machines() {
+		for aname, app := range Apps() {
+			cfg := midConfig(app)
+			for _, p := range []int{2, 64, 1024} {
+				b, err := app.Model(cfg, p, m)
+				if err != nil {
+					t.Fatalf("%s on %s at p=%d: %v", aname, mname, p, err)
+				}
+				if b.Total() <= 0 {
+					t.Fatalf("%s on %s at p=%d: non-positive time", aname, mname, p)
+				}
+			}
+		}
+	}
+}
+
+func TestSlowNetworkIsCommHeavier(t *testing.T) {
+	app := NewLulesh()
+	cfg := midConfig(app)
+	fast, err := app.Model(cfg, 512, DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := app.Model(cfg, 512, SlowNetworkMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.CommFraction() <= fast.CommFraction() {
+		t.Fatalf("slownet comm fraction %v not above default %v", slow.CommFraction(), fast.CommFraction())
+	}
+}
+
+func TestFatNodeContendsMore(t *testing.T) {
+	// At 32 processes the fat node packs everything into one node; the
+	// per-flop rate must be worse than on the default machine at its own
+	// full-node packing relative to single-core rates.
+	fat := FatNodeMachine()
+	alone := fat.ComputeTime(1e9, 1)
+	packed := fat.ComputeTime(1e9, fat.CoresPerNode)
+	if packed/alone < 1.2 {
+		t.Fatalf("fat node derate only %vx", packed/alone)
+	}
+}
+
+func TestPresetNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Machines() {
+		if seen[m.Name] {
+			t.Fatalf("duplicate machine name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}

@@ -1,0 +1,93 @@
+package hpcsim
+
+import (
+	"fmt"
+	"io"
+)
+
+// Profile is a scale sweep of one configuration's cost breakdown — the
+// simulator-side ground truth a performance engineer would get from a
+// profiler, used by diagnostics tooling and for validating that the
+// skeletons produce the published cost signatures of their namesakes.
+type Profile struct {
+	App    string
+	Params []float64
+	Rows   []ProfileRow
+}
+
+// ProfileRow is the breakdown at one scale.
+type ProfileRow struct {
+	Scale     int
+	Breakdown Breakdown
+	// Speedup is relative to the first row's total.
+	Speedup float64
+	// Efficiency is Speedup divided by the scale ratio to the first row.
+	Efficiency float64
+}
+
+// ProfileApp sweeps the application's noise-free cost model over scales.
+func ProfileApp(app App, params []float64, scales []int, m *Machine) (*Profile, error) {
+	if len(scales) == 0 {
+		return nil, fmt.Errorf("hpcsim: empty scale list")
+	}
+	if m == nil {
+		m = DefaultMachine()
+	}
+	p := &Profile{App: app.Name(), Params: append([]float64(nil), params...)}
+	var baseTotal float64
+	var baseScale int
+	for i, s := range scales {
+		b, err := app.Model(params, s, m)
+		if err != nil {
+			return nil, err
+		}
+		row := ProfileRow{Scale: s, Breakdown: b}
+		if i == 0 {
+			baseTotal = b.Total()
+			baseScale = s
+			row.Speedup = 1
+			row.Efficiency = 1
+		} else {
+			row.Speedup = baseTotal / b.Total()
+			row.Efficiency = row.Speedup * float64(baseScale) / float64(s)
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	return p, nil
+}
+
+// TurnaroundScale returns the scale with the minimal total time — where
+// strong scaling stops paying — or the largest profiled scale if the
+// total is still decreasing.
+func (p *Profile) TurnaroundScale() int {
+	best := p.Rows[0].Scale
+	bestT := p.Rows[0].Breakdown.Total()
+	for _, r := range p.Rows[1:] {
+		if t := r.Breakdown.Total(); t < bestT {
+			bestT = t
+			best = r.Scale
+		}
+	}
+	return best
+}
+
+// Fprint renders the profile as an aligned table.
+func (p *Profile) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s %v\n", p.App, p.Params); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s %12s %10s %10s %10s %10s %9s %6s\n",
+		"procs", "total", "setup", "compute", "halo", "collective", "speedup", "eff"); err != nil {
+		return err
+	}
+	for _, r := range p.Rows {
+		b := r.Breakdown
+		if _, err := fmt.Fprintf(w, "%8d %11.4fs %9.4fs %9.4fs %9.4fs %9.4fs %8.1fx %5.0f%%\n",
+			r.Scale, b.Total(), b.Setup, b.Compute, b.Halo, b.Collective,
+			r.Speedup, 100*r.Efficiency); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "strong-scaling turnaround at p=%d\n", p.TurnaroundScale())
+	return err
+}

@@ -1,0 +1,82 @@
+package hpcsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileAppBasics(t *testing.T) {
+	app := NewSMG()
+	cfg := midConfig(app)
+	p, err := ProfileApp(app, cfg, []int{2, 8, 32, 128, 512}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 5 {
+		t.Fatalf("%d rows", len(p.Rows))
+	}
+	if p.Rows[0].Speedup != 1 || p.Rows[0].Efficiency != 1 {
+		t.Fatalf("base row %+v", p.Rows[0])
+	}
+	// speedup must exceed 1 somewhere (the app scales initially)
+	if p.Rows[2].Speedup <= 1 {
+		t.Fatalf("no speedup by p=32: %+v", p.Rows[2])
+	}
+	// efficiency never exceeds 1 by more than rounding (no superlinearity
+	// in the analytic models)
+	for _, r := range p.Rows {
+		if r.Efficiency > 1.01 {
+			t.Fatalf("superlinear efficiency %v at p=%d", r.Efficiency, r.Scale)
+		}
+	}
+}
+
+func TestProfileTurnaround(t *testing.T) {
+	// A tiny CG problem must turn around within the sweep; a huge one
+	// should still be improving at the end.
+	app := NewCG()
+	small := []float64{64, 100, 7}
+	big := []float64{256, 500, 27}
+	sweep := []int{2, 8, 32, 128, 512, 2048}
+	ps, err := ProfileApp(app, small, sweep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := ProfileApp(app, big, sweep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.TurnaroundScale() >= pb.TurnaroundScale() {
+		t.Fatalf("turnarounds not size-ordered: small %d, big %d",
+			ps.TurnaroundScale(), pb.TurnaroundScale())
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	app := NewSMG()
+	if _, err := ProfileApp(app, midConfig(app), nil, nil); err == nil {
+		t.Fatal("accepted empty sweep")
+	}
+	if _, err := ProfileApp(app, []float64{1}, []int{2}, nil); err == nil {
+		t.Fatal("accepted bad params")
+	}
+}
+
+func TestProfileRender(t *testing.T) {
+	app := NewLulesh()
+	p, err := ProfileApp(app, midConfig(app), []int{2, 16, 128}, DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"lulesh", "compute", "collective", "turnaround"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

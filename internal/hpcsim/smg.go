@@ -1,0 +1,105 @@
+package hpcsim
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// SMGApp is an SMG2000-like semicoarsening multigrid solver: a setup phase
+// builds the grid hierarchy, then V-cycles iterate to convergence. The
+// grid semicoarsens in z only, so coarse levels keep their full x-y extent
+// — which is exactly what makes its communication stop shrinking with the
+// grid and eventually dominate at scale (the benchmark's famously poor
+// strong-scaling tail).
+//
+// Parameters:
+//
+//	nx, ny, nz — global grid points per dimension
+//	iters      — number of V-cycles (driven by the solve tolerance)
+type SMGApp struct {
+	// FlopsPerCell is the relaxation+residual flop cost per grid cell per
+	// V-cycle level visit. 52 matches the 19-point stencil's two sweeps.
+	FlopsPerCell float64
+	// SetupFactor scales the one-time setup cost relative to one V-cycle
+	// of compute; SMG2000 setup builds coarse operators and is expensive.
+	SetupFactor float64
+}
+
+// NewSMG returns the skeleton with reference cost constants.
+func NewSMG() *SMGApp {
+	return &SMGApp{FlopsPerCell: 52, SetupFactor: 6}
+}
+
+// Name implements App.
+func (a *SMGApp) Name() string { return "smg2000" }
+
+// Space implements App. Grid dimensions are discrete multiples of 16 so
+// grids decompose cleanly; iteration count spans loose to tight tolerances.
+func (a *SMGApp) Space() dataset.Space {
+	gridVals := func(lo, hi, step int) []float64 {
+		var vs []float64
+		for v := lo; v <= hi; v += step {
+			vs = append(vs, float64(v))
+		}
+		return vs
+	}
+	return dataset.Space{Params: []dataset.ParamDef{
+		{Name: "nx", Values: gridVals(64, 320, 16)},
+		{Name: "ny", Values: gridVals(64, 320, 16)},
+		{Name: "nz", Values: gridVals(64, 320, 16)},
+		{Name: "iters", Values: gridVals(6, 30, 2)},
+	}}
+}
+
+// Model implements App.
+func (a *SMGApp) Model(params []float64, p int, m *Machine) (Breakdown, error) {
+	if err := checkParams(params, a.Space()); err != nil {
+		return Breakdown{}, err
+	}
+	if err := checkScale(p, m); err != nil {
+		return Breakdown{}, err
+	}
+	nx := int(params[0])
+	ny := int(params[1])
+	nz := int(params[2])
+	iters := params[3]
+
+	const bytesPerCell = 8.0
+	levels := int(math.Floor(math.Log2(float64(nz)))) - 1 // coarsen z down to ~2 planes
+	if levels < 1 {
+		levels = 1
+	}
+
+	var cycleCompute, cycleHalo float64
+	for l := 0; l < levels; l++ {
+		lnz := nz >> l
+		if lnz < 2 {
+			lnz = 2
+		}
+		d := NewDecomp3D(nx, ny, lnz, p)
+		cycleCompute += m.ComputeTime(d.LocalVolume()*a.FlopsPerCell, p)
+		// Halo: semicoarsening keeps x-y faces full size at every level,
+		// and each level visit exchanges four times (pre-smooth,
+		// post-smooth, residual, restrict/interpolate).
+		const phasesPerLevel = 4
+		faces := d.NeighbourFaces()
+		if faces > 0 {
+			faceBytes := d.MaxFaceArea() * bytesPerCell
+			cycleHalo += phasesPerLevel * m.HaloExchangeTime(faces, faceBytes, p)
+		}
+	}
+	// convergence check per cycle
+	cycleCollective := m.AllreduceTime(8, p)
+
+	// Setup: coarse-operator assembly — compute like SetupFactor cycles,
+	// plus one collective per level (communicator/operator setup).
+	setup := a.SetupFactor*cycleCompute + float64(levels)*(m.AllreduceTime(8, p)+m.BarrierTime(p))
+
+	return Breakdown{
+		Setup:      setup,
+		Compute:    iters * cycleCompute,
+		Halo:       iters * cycleHalo,
+		Collective: iters * cycleCollective,
+	}, nil
+}

@@ -1,0 +1,65 @@
+package hpcsim
+
+import "testing"
+
+func TestStragglerGrowsWithScale(t *testing.T) {
+	e := NewEngine(nil, 3)
+	e.NoiseSigma = 0
+	e.InterferenceProb = 0
+	e.StragglerSigma = 0.05
+	a := NewSMG()
+	cfg := midConfig(a)
+
+	slowdown := func(p int) float64 {
+		truth, err := e.Breakdown(a, cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		const reps = 50
+		for rep := 0; rep < reps; rep++ {
+			v, err := e.Run(a, cfg, p, rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v / truth.Total()
+		}
+		return sum / reps
+	}
+
+	s8 := slowdown(8)
+	s1024 := slowdown(1024)
+	if s8 < 1 || s1024 < 1 {
+		t.Fatalf("straggler should only slow runs down: %v, %v", s8, s1024)
+	}
+	if s1024 <= s8 {
+		t.Fatalf("straggler slowdown not growing with scale: p=8 %.3f vs p=1024 %.3f", s8, s1024)
+	}
+}
+
+func TestStragglerOffByDefault(t *testing.T) {
+	e := NewEngine(nil, 4)
+	if e.StragglerSigma != 0 {
+		t.Fatalf("StragglerSigma default = %v, want 0", e.StragglerSigma)
+	}
+}
+
+func TestStragglerNoEffectAtScaleOne(t *testing.T) {
+	e := NewEngine(nil, 5)
+	e.NoiseSigma = 0
+	e.InterferenceProb = 0
+	e.StragglerSigma = 0.2
+	a := NewCG()
+	cfg := midConfig(a)
+	truth, err := e.Breakdown(a, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Run(a, cfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != truth.Total() {
+		t.Fatalf("p=1 run %v != analytic %v with straggler on", v, truth.Total())
+	}
+}

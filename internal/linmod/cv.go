@@ -1,0 +1,129 @@
+package linmod
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// cvSplit partitions [0, n) into k shuffled folds of near-equal size.
+func cvSplit(r *rng.Source, n, k int) [][]int {
+	perm := r.Perm(n)
+	folds := make([][]int, k)
+	for f := 0; f < k; f++ {
+		lo := f * n / k
+		hi := (f + 1) * n / k
+		folds[f] = perm[lo:hi]
+	}
+	return folds
+}
+
+func gatherRows(x *mat.Dense, idx []int) *mat.Dense {
+	out := mat.NewDense(len(idx), x.Cols)
+	for i, j := range idx {
+		copy(out.Row(i), x.Row(j))
+	}
+	return out
+}
+
+func gather(y []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}
+
+// CVLasso selects the lasso lambda by k-fold cross-validation over a
+// log-spaced grid of nLambdas values below LambdaMax, then refits on the
+// full data at the winner. It returns the model and the chosen lambda.
+func CVLasso(r *rng.Source, x *mat.Dense, y []float64, k, nLambdas int, opt Options) (*Model, float64) {
+	if k < 2 || k > x.Rows {
+		panic("linmod: CVLasso bad fold count")
+	}
+	lmax := LambdaMax(x, y)
+	if lmax == 0 {
+		lmax = 1e-12
+	}
+	lambdas := logGrid(lmax, 1e-3, nLambdas)
+	folds := cvSplit(r, x.Rows, k)
+	bestLam, bestErr := lambdas[0], math.Inf(1)
+	for _, lam := range lambdas {
+		var sse float64
+		var cnt int
+		for f := range folds {
+			trIdx, teIdx := antiFold(folds, f, x.Rows)
+			m := Lasso(gatherRows(x, trIdx), gather(y, trIdx), lam, opt)
+			for _, i := range teIdx {
+				d := m.Predict(x.Row(i)) - y[i]
+				sse += d * d
+				cnt++
+			}
+		}
+		if err := sse / float64(cnt); err < bestErr {
+			bestErr, bestLam = err, lam
+		}
+	}
+	return Lasso(x, y, bestLam, opt), bestLam
+}
+
+// CVMultiTaskLasso selects the multitask-lasso lambda by k-fold CV
+// (summed squared error over all tasks), then refits on the full data.
+func CVMultiTaskLasso(r *rng.Source, x, y *mat.Dense, k, nLambdas int, opt Options) (*MultiTaskModel, float64) {
+	if k < 2 || k > x.Rows {
+		panic("linmod: CVMultiTaskLasso bad fold count")
+	}
+	lmax := MultiTaskLambdaMax(x, y)
+	if lmax == 0 {
+		lmax = 1e-12
+	}
+	lambdas := logGrid(lmax, 1e-3, nLambdas)
+	folds := cvSplit(r, x.Rows, k)
+	bestLam, bestErr := lambdas[0], math.Inf(1)
+	for _, lam := range lambdas {
+		var sse float64
+		var cnt int
+		for f := range folds {
+			trIdx, teIdx := antiFold(folds, f, x.Rows)
+			m := MultiTaskLasso(gatherRows(x, trIdx), gatherRows(y, trIdx), lam, opt)
+			for _, i := range teIdx {
+				pred := m.Predict(x.Row(i))
+				for t := 0; t < y.Cols; t++ {
+					d := pred[t] - y.At(i, t)
+					sse += d * d
+					cnt++
+				}
+			}
+		}
+		if err := sse / float64(cnt); err < bestErr {
+			bestErr, bestLam = err, lam
+		}
+	}
+	return MultiTaskLasso(x, y, bestLam, opt), bestLam
+}
+
+// logGrid returns n log-spaced values from top down to top*ratio.
+func logGrid(top, ratio float64, n int) []float64 {
+	if n < 2 {
+		panic("linmod: logGrid needs n >= 2")
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n-1)
+		out[i] = top * math.Pow(ratio, f)
+	}
+	return out
+}
+
+// antiFold returns (train indices, test indices) for fold f.
+func antiFold(folds [][]int, f, n int) (train, test []int) {
+	test = folds[f]
+	train = make([]int, 0, n-len(test))
+	for g := range folds {
+		if g != f {
+			train = append(train, folds[g]...)
+		}
+	}
+	return train, test
+}

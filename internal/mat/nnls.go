@@ -1,0 +1,154 @@
+package mat
+
+import "math"
+
+// NNLS solves min ||a*x - b||₂ subject to x >= 0 using the Lawson-Hanson
+// active-set algorithm. It is used for the per-configuration scalability
+// refit, where every cost term (serial fraction, parallel work,
+// communication growth) must contribute non-negatively — which is what
+// keeps extrapolation beyond the fitted range from diverging to
+// non-physical negative runtimes.
+//
+// The problem sizes here are tiny (a handful of columns), so the simple
+// dense implementation is entirely adequate.
+func NNLS(a *Dense, b []float64) []float64 {
+	m, n := a.Rows, a.Cols
+	if m != len(b) {
+		panic("mat: NNLS dimension mismatch")
+	}
+	x := make([]float64, n)
+	passive := make([]bool, n) // the "P" set
+	w := make([]float64, n)    // gradient aᵀ(b - a·x)
+	resid := append([]float64(nil), b...)
+
+	const maxOuter = 200
+	tol := 1e-12 * (1 + NormInf(a.Data)) * float64(m)
+
+	for outer := 0; outer < maxOuter; outer++ {
+		// gradient on the active (zero) set
+		for j := 0; j < n; j++ {
+			w[j] = 0
+			for i := 0; i < m; i++ {
+				w[j] += a.At(i, j) * resid[i]
+			}
+		}
+		// pick the most violating active variable
+		best, bestW := -1, tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > bestW {
+				best, bestW = j, w[j]
+			}
+		}
+		if best < 0 {
+			break // KKT satisfied
+		}
+		passive[best] = true
+
+		// inner loop: solve the passive-set LS, stepping back when any
+		// passive variable would go negative
+		for {
+			z := solvePassive(a, b, passive)
+			// check feasibility of z on the passive set
+			alpha := 1.0
+			blocking := -1
+			for j := 0; j < n; j++ {
+				if !passive[j] || z[j] > 0 {
+					continue
+				}
+				denom := x[j] - z[j]
+				if denom <= 0 {
+					continue
+				}
+				if t := x[j] / denom; t < alpha {
+					alpha = t
+					blocking = j
+				}
+			}
+			if blocking < 0 {
+				copy(x, z)
+				break
+			}
+			for j := 0; j < n; j++ {
+				if passive[j] {
+					x[j] += alpha * (z[j] - x[j])
+					if x[j] <= 1e-14 {
+						x[j] = 0
+					}
+				}
+			}
+			for j := 0; j < n; j++ {
+				if passive[j] && x[j] == 0 {
+					passive[j] = false
+				}
+			}
+			if !anyPassive(passive) {
+				break
+			}
+		}
+		// refresh the residual
+		copy(resid, b)
+		for i := 0; i < m; i++ {
+			row := a.Row(i)
+			for j := 0; j < n; j++ {
+				if x[j] != 0 {
+					resid[i] -= row[j] * x[j]
+				}
+			}
+		}
+	}
+	return x
+}
+
+func anyPassive(p []bool) bool {
+	for _, v := range p {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+// solvePassive solves the unconstrained LS restricted to passive columns,
+// returning a full-width vector (zeros elsewhere). Singular sub-problems
+// fall back to a ridge-regularized solve.
+func solvePassive(a *Dense, b []float64, passive []bool) []float64 {
+	n := a.Cols
+	cols := []int{}
+	for j := 0; j < n; j++ {
+		if passive[j] {
+			cols = append(cols, j)
+		}
+	}
+	out := make([]float64, n)
+	if len(cols) == 0 {
+		return out
+	}
+	sub := NewDense(a.Rows, len(cols))
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		srow := sub.Row(i)
+		for jj, j := range cols {
+			srow[jj] = row[j]
+		}
+	}
+	coef, err := LeastSquares(sub, b)
+	if err != nil {
+		gram := MulATA(sub)
+		scale := NormInf(gram.Data)
+		if scale == 0 || math.IsNaN(scale) {
+			return out
+		}
+		for i := 0; i < gram.Rows; i++ {
+			gram.Set(i, i, gram.At(i, i)+1e-10*scale)
+		}
+		atb := sub.MulVecT(nil, b)
+		coef, err = SolveSPD(gram, atb)
+		if err != nil {
+			return out
+		}
+	}
+	for jj, j := range cols {
+		out[j] = coef[jj]
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNNLSExactNonNegativeSolution(t *testing.T) {
+	// When the unconstrained LS solution is already non-negative, NNLS
+	// must reproduce it.
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	xTrue := []float64{2, 3}
+	b := a.MulVec(nil, xTrue)
+	x := NNLS(a, b)
+	for i := range xTrue {
+		if math.Abs(x[i]-xTrue[i]) > 1e-10 {
+			t.Fatalf("NNLS = %v, want %v", x, xTrue)
+		}
+	}
+}
+
+func TestNNLSClampsNegativeComponent(t *testing.T) {
+	// b is chosen so the unconstrained solution has a negative entry; NNLS
+	// must return a feasible solution with the offending variable at 0.
+	a := FromRows([][]float64{{1, 1}, {1, 1.0001}, {1, 2}})
+	b := []float64{1, 1, 0} // wants a negative slope on column 2
+	x := NNLS(a, b)
+	for j, v := range x {
+		if v < 0 {
+			t.Fatalf("x[%d] = %v < 0", j, v)
+		}
+	}
+	// residual must be no worse than the best single-column nonneg fit
+	resid := make([]float64, 3)
+	SubTo(resid, b, a.MulVec(nil, x))
+	if Norm2(resid) > Norm2(b)+1e-12 {
+		t.Fatalf("NNLS residual %v worse than zero solution", Norm2(resid))
+	}
+}
+
+func TestNNLSAllZeroWhenBNegativelyCorrelated(t *testing.T) {
+	// every column positively oriented, b negative => x = 0 is optimal
+	a := FromRows([][]float64{{1}, {1}, {1}})
+	b := []float64{-1, -2, -3}
+	x := NNLS(a, b)
+	if x[0] != 0 {
+		t.Fatalf("x = %v, want 0", x)
+	}
+}
+
+func TestNNLSKKTConditions(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 30; trial++ {
+		a := randomDense(r, 12, 5)
+		// make columns positive-ish so the problem is interesting
+		for i := range a.Data {
+			a.Data[i] = math.Abs(a.Data[i])
+		}
+		b := make([]float64, 12)
+		for i := range b {
+			b[i] = r.Uniform(-1, 3)
+		}
+		x := NNLS(a, b)
+		resid := make([]float64, 12)
+		SubTo(resid, b, a.MulVec(nil, x))
+		grad := a.MulVecT(nil, resid) // = -∇(1/2||ax-b||²)
+		for j := 0; j < 5; j++ {
+			if x[j] < 0 {
+				t.Fatalf("trial %d: negative x[%d] = %v", trial, j, x[j])
+			}
+			if x[j] > 1e-10 {
+				// interior variable: gradient ~ 0
+				if math.Abs(grad[j]) > 1e-6*(1+Norm2(b)) {
+					t.Fatalf("trial %d: interior var %d gradient %v", trial, j, grad[j])
+				}
+			} else if grad[j] > 1e-6*(1+Norm2(b)) {
+				// boundary variable: gradient must not be ascent-positive
+				t.Fatalf("trial %d: boundary var %d gradient %v > 0", trial, j, grad[j])
+			}
+		}
+	}
+}
+
+func TestNNLSMatchesLSOnSimpleDecay(t *testing.T) {
+	// shape(p) = 0.2 + 1.6/p at p = 2,4,8,16,32 — the scalability refit's
+	// typical problem; NNLS must recover the positive coefficients.
+	ps := []float64{2, 4, 8, 16, 32}
+	a := NewDense(len(ps), 2)
+	b := make([]float64, len(ps))
+	for i, p := range ps {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, 1/p)
+		b[i] = 0.2 + 1.6/p
+	}
+	x := NNLS(a, b)
+	if math.Abs(x[0]-0.2) > 1e-8 || math.Abs(x[1]-1.6) > 1e-8 {
+		t.Fatalf("NNLS = %v, want [0.2, 1.6]", x)
+	}
+}
+
+func TestNNLSDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NNLS(NewDense(3, 2), []float64{1, 2})
+}
+
+func TestNNLSCollinearColumns(t *testing.T) {
+	// duplicated columns: must terminate and stay feasible
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	b := []float64{1, 2, 3}
+	x := NNLS(a, b)
+	pred := a.MulVec(nil, x)
+	for i := range b {
+		if math.Abs(pred[i]-b[i]) > 1e-6 {
+			t.Fatalf("collinear NNLS fit = %v", pred)
+		}
+	}
+	if x[0] < 0 || x[1] < 0 {
+		t.Fatalf("infeasible x = %v", x)
+	}
+}

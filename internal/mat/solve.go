@@ -1,0 +1,176 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a factorization encounters a matrix that is
+// singular (or numerically indistinguishable from singular).
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// ErrNotPositiveDefinite is returned by Cholesky when the matrix is not
+// symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with a = L*Lᵀ.
+// a must be symmetric positive definite; only its lower triangle is read.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.Rows != a.Cols {
+		panic("mat: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		lrowj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lrowj[k] * lrowj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		djj := math.Sqrt(d)
+		lrowj[j] = djj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= lrowi[k] * lrowj[k]
+			}
+			lrowi[j] = s / djj
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves a*x = b given the Cholesky factor L of a,
+// via forward then backward substitution. b is not modified.
+func SolveCholesky(l *Dense, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("mat: SolveCholesky dimension mismatch")
+	}
+	y := make([]float64, n)
+	// L y = b
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	// Lᵀ x = y
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves a*x = b for symmetric positive definite a.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(l, b), nil
+}
+
+// QR holds a thin Householder QR factorization of an m×n matrix, m >= n.
+type QR struct {
+	qr   *Dense    // packed Householder vectors + R
+	rd   []float64 // diagonal of R
+	m, n int
+}
+
+// NewQR factors a (which is not modified).
+func NewQR(a *Dense) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("mat: QR requires rows >= cols")
+	}
+	qr := a.Clone()
+	rd := make([]float64, n)
+	// Relative singularity threshold: a pivot smaller than eps times the
+	// largest entry magnitude indicates a (numerically) dependent column.
+	tol := NormInf(a.Data) * float64(m) * 1e-14
+	for k := 0; k < n; k++ {
+		// norm of column k below the diagonal
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm <= tol {
+			return nil, ErrSingular
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rd[k] = -nrm
+	}
+	return &QR{qr: qr, rd: rd, m: m, n: n}, nil
+}
+
+// Solve returns the least-squares solution x minimizing ||a*x - b||₂.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		panic("mat: QR.Solve dimension mismatch")
+	}
+	y := make([]float64, f.m)
+	copy(y, b)
+	// apply Householder reflections: y = Qᵀ b
+	for k := 0; k < f.n; k++ {
+		var s float64
+		for i := k; i < f.m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < f.m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// back substitution against R
+	x := make([]float64, f.n)
+	for i := f.n - 1; i >= 0; i-- {
+		if f.rd[i] == 0 {
+			return nil, ErrSingular
+		}
+		s := y[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.rd[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||a*x - b||₂ by QR. For rank-deficient a it
+// returns ErrSingular; callers that need regularization should use the
+// ridge path in internal/linmod instead.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

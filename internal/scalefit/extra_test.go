@@ -1,0 +1,124 @@
+package scalefit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalabilityBasisExcludesStrongGrowth(t *testing.T) {
+	for _, h := range ScalabilityBasis() {
+		if h.A > 1.0/3+1e-12 {
+			t.Fatalf("basis contains strong growth term %v", h)
+		}
+		if h.A == 0 && h.B == 0 {
+			t.Fatal("constant term in basis")
+		}
+	}
+	if len(ScalabilityBasis()) != 17 {
+		t.Fatalf("basis size %d, want 17", len(ScalabilityBasis()))
+	}
+}
+
+func TestScalabilityBasisSubsetOfDefault(t *testing.T) {
+	def := map[Term]bool{}
+	for _, h := range DefaultHypotheses() {
+		def[h] = true
+	}
+	for _, h := range ScalabilityBasis() {
+		if !def[h] {
+			t.Fatalf("scalability term %v not in default hypotheses", h)
+		}
+	}
+}
+
+func TestTermEvalAtOne(t *testing.T) {
+	// log2(1) = 0, so every term with B > 0 vanishes at p=1; pure powers
+	// are 1 at p=1.
+	for _, h := range DefaultHypotheses() {
+		got := h.Eval(1)
+		want := 1.0
+		if h.B > 0 {
+			want = 0
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%v.Eval(1) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+func TestTermEvalMonotoneProperty(t *testing.T) {
+	// for p >= 2, terms with A >= 0 are non-decreasing, and pure decaying
+	// powers (B == 0, A < 0) are decreasing.
+	f := func(raw uint8) bool {
+		p1 := 2 + float64(raw%200)
+		p2 := p1 * 2
+		for _, h := range DefaultHypotheses() {
+			v1, v2 := h.Eval(p1), h.Eval(p2)
+			if h.A >= 0 && v2 < v1-1e-12 {
+				return false
+			}
+			if h.B == 0 && h.A < 0 && v2 >= v1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitSelectsBestOverGivenHypotheses(t *testing.T) {
+	// With the hypothesis set restricted to the true term, the fit must be
+	// near-exact; with a wrong single term it must be worse.
+	scales := []int{2, 4, 8, 16, 32, 64}
+	rts := make([]float64, len(scales))
+	for i, s := range scales {
+		rts[i] = 2 + 3*math.Sqrt(float64(s))
+	}
+	right, err := Fit(scales, rts, []Term{{A: 0.5, B: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := Fit(scales, rts, []Term{{A: -1, B: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if right.RSS > 1e-12 {
+		t.Fatalf("true-term RSS = %v", right.RSS)
+	}
+	if wrong.RSS < 1 {
+		t.Fatalf("wrong-term RSS suspiciously low: %v", wrong.RSS)
+	}
+}
+
+func TestFitDegenerateHypothesisSkipped(t *testing.T) {
+	// A hypothesis whose column is constant over the sampled scales (B=0,
+	// A=0 never occurs, but a term can collapse numerically) must not
+	// break Fit when mixed with valid ones.
+	scales := []int{2, 4, 8, 16}
+	rts := []float64{10, 6, 4, 3}
+	m, err := Fit(scales, rts, []Term{{A: -1, B: 0}, {A: 0, B: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("nil model")
+	}
+}
+
+func TestEfficiencyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Efficiency([]int{1, 2}, []float64{1})
+}
+
+func TestAmdahlErrorPath(t *testing.T) {
+	if _, _, err := Amdahl([]int{2, 4}, []float64{1, 2}); err == nil {
+		t.Fatal("Amdahl accepted 2 points")
+	}
+}

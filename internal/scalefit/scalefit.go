@@ -1,0 +1,190 @@
+// Package scalefit implements per-configuration scalability-curve fitting
+// in the style of analytic performance modeling tools (Extra-P / Calotoiu
+// et al.): the runtime of one fixed input configuration as a function of
+// process count p is modeled as
+//
+//	t(p) = c0 + c1 · p^a · log2(p)^b
+//
+// with the exponents (a, b) searched over a small hypothesis grid and the
+// coefficients fitted by least squares. Amdahl's law (t = s + w/p) is the
+// special case (a, b) = (-1, 0).
+//
+// This is the classic non-ML extrapolation baseline the paper's method is
+// compared against: it needs the observed small-scale curve of the *same*
+// configuration (no cross-configuration learning), and is fitted per
+// configuration.
+package scalefit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Term is one basis hypothesis p^A · log2(p)^B.
+type Term struct {
+	A float64 // power exponent
+	B int     // log exponent (0, 1, 2)
+}
+
+// Eval computes the term at process count p.
+func (t Term) Eval(p float64) float64 {
+	v := math.Pow(p, t.A)
+	if t.B > 0 {
+		l := math.Log2(p)
+		for i := 0; i < t.B; i++ {
+			v *= l
+		}
+	}
+	return v
+}
+
+func (t Term) String() string {
+	switch {
+	case t.B == 0:
+		return fmt.Sprintf("p^%g", t.A)
+	case t.A == 0:
+		return fmt.Sprintf("log2(p)^%d", t.B)
+	default:
+		return fmt.Sprintf("p^%g*log2(p)^%d", t.A, t.B)
+	}
+}
+
+// DefaultHypotheses is the Extra-P performance-model normal form search
+// space restricted to one term: I = {-1, -2/3, -1/2, -1/3, 0, 1/3, 1/2,
+// 2/3, 1} × J = {0, 1, 2}, excluding the constant (0,0) which is always
+// present as c0.
+func DefaultHypotheses() []Term {
+	as := []float64{-1, -2.0 / 3, -0.5, -1.0 / 3, 0, 1.0 / 3, 0.5, 2.0 / 3, 1}
+	bs := []int{0, 1, 2}
+	var out []Term
+	for _, a := range as {
+		for _, b := range bs {
+			if a == 0 && b == 0 {
+				continue
+			}
+			out = append(out, Term{A: a, B: b})
+		}
+	}
+	return out
+}
+
+// ScalabilityBasis is the hypothesis grid used for multi-term models that
+// must be EVALUATED far beyond the fitted range: the strongly growing
+// powers (p^1/2 and up) are excluded, because a multi-term fit happily
+// assigns them tiny coefficients to absorb small-scale noise and those
+// coefficients then dominate at 8-16x extrapolation. What remains —
+// decaying powers, logs, and at most p^1/3·log^b — covers serial
+// fractions, parallel work, tree collectives, and sweep pipelines.
+func ScalabilityBasis() []Term {
+	as := []float64{-1, -2.0 / 3, -0.5, -1.0 / 3, 0, 1.0 / 3}
+	bs := []int{0, 1, 2}
+	var out []Term
+	for _, a := range as {
+		for _, b := range bs {
+			if a == 0 && b == 0 {
+				continue
+			}
+			out = append(out, Term{A: a, B: b})
+		}
+	}
+	return out
+}
+
+// Model is a fitted single-term scalability model t(p) = C0 + C1·term(p).
+type Model struct {
+	C0, C1 float64
+	Term   Term
+	RSS    float64 // residual sum of squares on the fit points
+}
+
+// Predict evaluates the model at process count p (p must be >= 1).
+func (m *Model) Predict(p float64) float64 {
+	if p < 1 {
+		panic(fmt.Sprintf("scalefit: predict at p=%v < 1", p))
+	}
+	return m.C0 + m.C1*m.Term.Eval(p)
+}
+
+func (m *Model) String() string {
+	return fmt.Sprintf("%.4g + %.4g·%s", m.C0, m.C1, m.Term)
+}
+
+// Fit selects the hypothesis with the smallest residual sum of squares
+// over the observed (scales[i], runtimes[i]) points. At least three points
+// are required (two coefficients plus one residual degree of freedom).
+func Fit(scales []int, runtimes []float64, hypotheses []Term) (*Model, error) {
+	if len(scales) != len(runtimes) {
+		panic("scalefit: scales/runtimes length mismatch")
+	}
+	if len(scales) < 3 {
+		return nil, fmt.Errorf("scalefit: need >= 3 points, got %d", len(scales))
+	}
+	if len(hypotheses) == 0 {
+		hypotheses = DefaultHypotheses()
+	}
+	for _, s := range scales {
+		if s < 1 {
+			return nil, fmt.Errorf("scalefit: scale %d < 1", s)
+		}
+	}
+	var best *Model
+	for _, h := range hypotheses {
+		m, err := fitTerm(scales, runtimes, h)
+		if err != nil {
+			continue // degenerate design for this term (e.g. constant column)
+		}
+		if best == nil || m.RSS < best.RSS {
+			best = m
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("scalefit: no hypothesis admitted a least-squares fit")
+	}
+	return best, nil
+}
+
+func fitTerm(scales []int, runtimes []float64, h Term) (*Model, error) {
+	n := len(scales)
+	x := mat.NewDense(n, 2)
+	for i, s := range scales {
+		row := x.Row(i)
+		row[0] = 1
+		row[1] = h.Eval(float64(s))
+	}
+	coef, err := mat.LeastSquares(x, runtimes)
+	if err != nil {
+		return nil, err
+	}
+	var rss float64
+	for i := range runtimes {
+		d := runtimes[i] - (coef[0] + coef[1]*x.At(i, 1))
+		rss += d * d
+	}
+	return &Model{C0: coef[0], C1: coef[1], Term: h, RSS: rss}, nil
+}
+
+// Amdahl fits t(p) = s + w/p directly and returns (serial, parallel work).
+func Amdahl(scales []int, runtimes []float64) (serial, work float64, err error) {
+	m, e := Fit(scales, runtimes, []Term{{A: -1, B: 0}})
+	if e != nil {
+		return 0, 0, e
+	}
+	return m.C0, m.C1, nil
+}
+
+// Efficiency returns the parallel efficiency curve T(s0)·s0 / (T(s)·s) of
+// a measured scaling curve relative to its first point — a descriptive
+// helper for the examples and reports.
+func Efficiency(scales []int, runtimes []float64) []float64 {
+	if len(scales) != len(runtimes) || len(scales) == 0 {
+		panic("scalefit: Efficiency input mismatch")
+	}
+	base := runtimes[0] * float64(scales[0])
+	out := make([]float64, len(scales))
+	for i := range scales {
+		out[i] = base / (runtimes[i] * float64(scales[i]))
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package scalefit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFitRecoversAmdahl(t *testing.T) {
+	// t(p) = 3 + 120/p
+	scales := []int{2, 4, 8, 16, 32}
+	rts := make([]float64, len(scales))
+	for i, s := range scales {
+		rts[i] = 3 + 120/float64(s)
+	}
+	m, err := Fit(scales, rts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// must predict future scales accurately regardless of which term won
+	for _, p := range []float64{64, 128, 256} {
+		want := 3 + 120/p
+		if got := m.Predict(p); math.Abs(got-want)/want > 0.05 {
+			t.Fatalf("predict(%v) = %v, want %v (model %v)", p, got, want, m)
+		}
+	}
+}
+
+func TestFitRecoversLogTerm(t *testing.T) {
+	// t(p) = 5 + 2·log2(p): allreduce-style growth
+	scales := []int{2, 4, 8, 16, 32, 64}
+	rts := make([]float64, len(scales))
+	for i, s := range scales {
+		rts[i] = 5 + 2*math.Log2(float64(s))
+	}
+	m, err := Fit(scales, rts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5 + 2*math.Log2(1024)
+	if got := m.Predict(1024); math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("predict(1024) = %v, want %v (model %v)", got, want, m)
+	}
+}
+
+func TestFitRecoversLinearGrowth(t *testing.T) {
+	// t(p) = 1 + 0.01·p: communication-bound blow-up
+	scales := []int{2, 4, 8, 16, 32}
+	rts := make([]float64, len(scales))
+	for i, s := range scales {
+		rts[i] = 1 + 0.01*float64(s)
+	}
+	m, err := Fit(scales, rts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 0.01*512
+	if got := m.Predict(512); math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("predict(512) = %v, want %v (model %v)", got, want, m)
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	r := rng.New(1)
+	scales := []int{2, 4, 8, 16, 32, 64}
+	rts := make([]float64, len(scales))
+	for i, s := range scales {
+		rts[i] = (4 + 200/float64(s)) * (1 + 0.02*r.Norm())
+	}
+	m, err := Fit(scales, rts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 + 200.0/256
+	if got := m.Predict(256); math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("noisy predict(256) = %v, want ~%v", got, want)
+	}
+}
+
+func TestFitNeedsThreePoints(t *testing.T) {
+	if _, err := Fit([]int{2, 4}, []float64{1, 2}, nil); err == nil {
+		t.Fatal("accepted 2 points")
+	}
+}
+
+func TestFitRejectsBadScale(t *testing.T) {
+	if _, err := Fit([]int{0, 2, 4}, []float64{1, 2, 3}, nil); err == nil {
+		t.Fatal("accepted scale 0")
+	}
+}
+
+func TestFitLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Fit([]int{1, 2, 3}, []float64{1, 2}, nil)
+}
+
+func TestPredictBelowOnePanics(t *testing.T) {
+	m := &Model{C0: 1, C1: 1, Term: Term{A: 1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.Predict(0.5)
+}
+
+func TestAmdahl(t *testing.T) {
+	scales := []int{2, 4, 8, 16}
+	rts := make([]float64, len(scales))
+	for i, s := range scales {
+		rts[i] = 7 + 100/float64(s)
+	}
+	serial, work, err := Amdahl(scales, rts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(serial-7) > 1e-8 || math.Abs(work-100) > 1e-6 {
+		t.Fatalf("Amdahl = %v + %v/p", serial, work)
+	}
+}
+
+func TestTermEvalAndString(t *testing.T) {
+	cases := []struct {
+		term Term
+		p    float64
+		want float64
+	}{
+		{Term{A: 1, B: 0}, 8, 8},
+		{Term{A: -1, B: 0}, 4, 0.25},
+		{Term{A: 0, B: 1}, 8, 3},
+		{Term{A: 0.5, B: 1}, 4, 4}, // sqrt(4)*log2(4) = 2*2
+		{Term{A: 0, B: 2}, 4, 4},   // log2(4)^2
+	}
+	for _, c := range cases {
+		if got := c.term.Eval(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("%v.Eval(%v) = %v, want %v", c.term, c.p, got, c.want)
+		}
+		if c.term.String() == "" {
+			t.Fatal("empty term string")
+		}
+	}
+}
+
+func TestDefaultHypothesesExcludeConstant(t *testing.T) {
+	for _, h := range DefaultHypotheses() {
+		if h.A == 0 && h.B == 0 {
+			t.Fatal("constant term in hypothesis grid")
+		}
+	}
+	if len(DefaultHypotheses()) != 26 {
+		t.Fatalf("hypothesis count = %d, want 26", len(DefaultHypotheses()))
+	}
+}
+
+func TestEfficiencyPerfectScaling(t *testing.T) {
+	scales := []int{2, 4, 8}
+	rts := []float64{40, 20, 10} // perfect
+	eff := Efficiency(scales, rts)
+	for _, e := range eff {
+		if math.Abs(e-1) > 1e-12 {
+			t.Fatalf("perfect-scaling efficiency = %v", eff)
+		}
+	}
+	rts2 := []float64{40, 30, 25} // poor
+	eff2 := Efficiency(scales, rts2)
+	if eff2[2] >= 1 {
+		t.Fatalf("poor scaling should have efficiency < 1: %v", eff2)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := &Model{C0: 1, C1: 2, Term: Term{A: -1}}
+	if m.String() == "" {
+		t.Fatal("empty model string")
+	}
+}
+
+func BenchmarkFit(b *testing.B) {
+	scales := []int{2, 4, 8, 16, 32, 64}
+	rts := make([]float64, len(scales))
+	for i, s := range scales {
+		rts[i] = 4 + 200/float64(s) + 0.5*math.Log2(float64(s))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(scales, rts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package repro is the public API of the two-level HPC performance
+// extrapolation library — a reproduction of "Using Small-Scale History
+// Data to Predict Large-Scale Performance of HPC Application" (Zhou,
+// Zhang, Sun, Sun — IPDPSW 2020).
+//
+// The library predicts an HPC application's runtime at large scales
+// (process counts) from historical executions at small scales:
+//
+//	history, _ := repro.LoadHistory("runs.csv")
+//	model, _ := repro.Fit(repro.NewRand(1), history, repro.DefaultConfig())
+//	runtimes := model.Predict(params) // one per target scale, no run needed
+//
+// Everything here is a thin alias layer over the implementation packages:
+//
+//   - internal/core      — the two-level model itself
+//   - internal/hpcsim    — the simulated HPC platform used as a data source
+//   - internal/dataset   — execution-history tables and CSV I/O
+//   - internal/forest, internal/linmod, internal/gbrt, internal/knn,
+//     internal/cluster, internal/scalefit — the learning components
+//   - internal/experiments — the paper's reconstructed evaluation
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hpcsim"
+	"repro/internal/rng"
+)
+
+// Core model types, re-exported.
+type (
+	// Config controls the two-level model; see DefaultConfig.
+	Config = core.Config
+	// Model is a fitted two-level performance model.
+	Model = core.TwoLevelModel
+	// Mode selects the extrapolation backend (anchored or basis).
+	Mode = core.Mode
+)
+
+// Extrapolation backends.
+const (
+	ModeAuto     = core.ModeAuto
+	ModeAnchored = core.ModeAnchored
+	ModeBasis    = core.ModeBasis
+)
+
+// Dataset types, re-exported.
+type (
+	// Table is an execution-history dataset.
+	Table = dataset.Table
+	// Run is one observed execution.
+	Run = dataset.Run
+	// Rand is the deterministic random source used throughout.
+	Rand = rng.Source
+)
+
+// Simulator types, re-exported.
+type (
+	// App is a simulated HPC application.
+	App = hpcsim.App
+	// Engine executes simulated applications with realistic noise.
+	Engine = hpcsim.Engine
+	// Machine is the simulated cluster description.
+	Machine = hpcsim.Machine
+)
+
+// DefaultConfig returns the model configuration used in the paper-shaped
+// experiments.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Fit trains a two-level model on an execution-history table.
+func Fit(r *Rand, history *Table, cfg Config) (*Model, error) {
+	return core.Fit(r, history, cfg)
+}
+
+// LoadModel reads a model saved with Model.Save.
+func LoadModel(path string) (*Model, error) { return core.Load(path) }
+
+// LoadHistory reads an execution-history CSV (as written by Table.SaveCSV
+// or cmd/datagen).
+func LoadHistory(path string) (*Table, error) { return dataset.LoadCSV(path) }
+
+// NewRand returns a deterministic random source for the given seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// NewEngine returns a simulation engine on machine m (nil selects the
+// default cluster) with the reference noise model.
+func NewEngine(m *Machine, seed uint64) *Engine { return hpcsim.NewEngine(m, seed) }
+
+// Apps returns the built-in simulated applications by name
+// (smg2000, lulesh, kripke).
+func Apps() map[string]App { return hpcsim.Apps() }
+
+// Machines returns the built-in machine presets by name
+// (default, fatnode, slownet).
+func Machines() map[string]*Machine { return hpcsim.Machines() }
