@@ -1,0 +1,32 @@
+# Tier-1 verification and developer shortcuts. `make verify` is the
+# gate every PR must keep green (recorded in ROADMAP.md).
+
+GO ?= go
+
+.PHONY: verify build vet test race bench bench-serving clean
+
+verify: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Reduced-size reconstruction of every table/figure plus the core
+# micro-benchmarks; see bench_test.go.
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+# Serving-path latency (cache hit vs. miss), tracked across PRs.
+bench-serving:
+	$(GO) test -bench=BenchmarkServePredict -run=NONE ./internal/serving/
+
+clean:
+	$(GO) clean ./...

@@ -6,9 +6,11 @@
 //	predict -model model.json -params 192,192,128,20
 //	predict -model model.json -params 192,192,128,20 -at 512
 //	predict -model model.json -in configs.csv
+//	cut -d, -f1-4 configs.csv | predict -model model.json -in -
 //
 // A -in CSV needs one header row naming the parameters (matching the
-// model's) and one row per configuration.
+// model's) and one row per configuration; "-in -" reads the CSV from
+// stdin, enabling piping.
 package main
 
 import (
@@ -27,7 +29,7 @@ func main() {
 	var (
 		modelPath = flag.String("model", "model.json", "trained model path")
 		params    = flag.String("params", "", "one configuration, comma-separated values")
-		in        = flag.String("in", "", "CSV of configurations (header + rows)")
+		in        = flag.String("in", "", "CSV of configurations (header + rows); - reads stdin")
 		at        = flag.Int("at", 0, "predict at one specific scale (0 = all targets)")
 		curves    = flag.Bool("small", false, "also print the predicted small-scale curve")
 	)
@@ -83,12 +85,19 @@ func main() {
 }
 
 func loadConfigs(path string, want []string) ([][]float64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+	var rd io.Reader
+	if path == "-" {
+		rd = os.Stdin
+		path = "stdin"
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		rd = f
 	}
-	defer f.Close()
-	cr := csv.NewReader(f)
+	cr := csv.NewReader(rd)
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("reading header of %s: %w", path, err)

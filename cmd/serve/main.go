@@ -1,0 +1,130 @@
+// Command serve exposes trained two-level models over an HTTP JSON API.
+//
+// Usage:
+//
+//	serve -model model.json
+//	serve -addr :8080 -model smg=smg.json -model lulesh=lulesh.json -cache 8192
+//
+// Each -model flag is either a bare path (served under the name
+// "default") or name=path. Endpoints:
+//
+//	POST /v1/predict   {"model":"smg","configs":[[...],[...]],"at":512,"interval":0.1,"small":true}
+//	GET  /v1/models    loaded models, versions, and training metadata
+//	POST /v1/reload    re-read every model file from disk (also SIGHUP)
+//	GET  /healthz      liveness; 503 until a model is loaded
+//	GET  /metrics      JSON counters: requests, errors, latency, cache
+//
+// SIGHUP hot-reloads the model files without dropping in-flight
+// requests; SIGINT/SIGTERM shut down gracefully, draining for -drain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"repro/internal/serving"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var models multiFlag
+	flag.Var(&models, "model", "model to serve: path or name=path (repeatable)")
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		cache = flag.Int("cache", serving.DefaultCacheSize, "prediction cache capacity (0 disables)")
+		drain = flag.Duration("drain", serving.DefaultDrainTimeout, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	if len(models) == 0 {
+		fatalf("at least one -model is required")
+	}
+	sources, err := parseSources(models)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	reg := serving.NewRegistry(sources...)
+	if err := reg.Reload(); err != nil {
+		fatalf("loading models: %v", err)
+	}
+	for _, e := range reg.List() {
+		log.Printf("loaded model %q v%d from %s (%d params, mode %s)",
+			e.Name, e.Version, e.Path, len(e.Model.ParamNames), e.Model.Mode())
+	}
+
+	srv := serving.New(reg, serving.Options{CacheSize: *cache})
+	g := serving.NewGraceful(*addr, srv.Handler(), *drain)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	go func() {
+		for sig := range sigCh {
+			if sig == syscall.SIGHUP {
+				if err := reg.Reload(); err != nil {
+					log.Printf("reload: %v", err)
+				} else {
+					log.Printf("reloaded %d model(s)", reg.Len())
+				}
+				continue
+			}
+			log.Printf("%s: draining for up to %s", sig, *drain)
+			if err := g.Shutdown(); err != nil {
+				log.Printf("shutdown: %v", err)
+			}
+			return
+		}
+	}()
+
+	log.Printf("serving %d model(s) on %s (cache %d)", reg.Len(), *addr, *cache)
+	if err := g.ListenAndServe(); err != nil {
+		fatalf("%v", err)
+	}
+	log.Printf("shut down cleanly")
+}
+
+// parseSources expands -model flags into registry sources, defaulting a
+// bare path's name to "default" for a single model and to the file's
+// base name otherwise.
+func parseSources(models []string) ([]serving.Source, error) {
+	sources := make([]serving.Source, 0, len(models))
+	seen := map[string]bool{}
+	for _, spec := range models {
+		var src serving.Source
+		if name, path, ok := strings.Cut(spec, "="); ok && name != "" {
+			src = serving.Source{Name: name, Path: path}
+		} else if len(models) == 1 {
+			src = serving.Source{Name: "default", Path: spec}
+		} else {
+			base := filepath.Base(spec)
+			src = serving.Source{Name: strings.TrimSuffix(base, filepath.Ext(base)), Path: spec}
+		}
+		if src.Path == "" {
+			return nil, fmt.Errorf("-model %q: empty path", spec)
+		}
+		if seen[src.Name] {
+			return nil, fmt.Errorf("-model %q: duplicate model name %q", spec, src.Name)
+		}
+		seen[src.Name] = true
+		sources = append(sources, src)
+	}
+	return sources, nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
+	os.Exit(1)
+}

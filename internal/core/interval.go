@@ -7,8 +7,10 @@ import (
 
 // Interval is a heuristic prediction interval at one target scale.
 type Interval struct {
-	Scale       int
-	Lo, Mid, Hi float64
+	Scale int     `json:"scale"`
+	Lo    float64 `json:"lo"`
+	Mid   float64 `json:"mid"`
+	Hi    float64 `json:"hi"`
 }
 
 // PredictInterval returns, per target scale, a heuristic uncertainty band

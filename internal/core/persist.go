@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // modelFileVersion guards against loading files written by incompatible
@@ -42,17 +43,42 @@ func Read(r io.Reader) (*TwoLevelModel, error) {
 	return f.Model, nil
 }
 
-// Save writes the model to a file path.
+// Save writes the model to a file path atomically: the JSON is written
+// to a temporary file in the same directory, synced, and renamed over
+// the destination, so a concurrent reader (e.g. a serving process
+// hot-reloading on SIGHUP) can never observe a torn or partial file.
 func (m *TwoLevelModel) Save(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := m.Write(f); err != nil {
-		f.Close()
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := m.Write(tmp); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	// CreateTemp uses 0600; match the permissions os.Create would give.
+	if err := tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil // the deferred cleanup no longer owns the file
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
 }
 
 // Load reads a model from a file path.

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// fitTiny returns a quick model, plus one in-space configuration, for
+// persistence tests.
+func fitTiny(t *testing.T) (*TwoLevelModel, []float64) {
+	t.Helper()
+	cfg := smallCfg()
+	cfg.Forest.Trees = 10
+	train, test := simTables(t, 31, 30, 15, 1, cfg)
+	m, err := Fit(rng.New(7), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, test.GroupByConfig()[0].Params
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	m, p := fitTiny(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := m.Predict(p), loaded.Predict(p)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("prediction changed across save/load: %v != %v", got, want)
+		}
+	}
+}
+
+// TestSaveAtomicLeavesNoTempFiles asserts Save's temp-file-plus-rename
+// protocol cleans up after itself: after overwriting an existing model
+// twice, the directory holds exactly the destination file.
+func TestSaveAtomicLeavesNoTempFiles(t *testing.T) {
+	m, _ := fitTiny(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	for i := 0; i < 2; i++ {
+		if err := m.Save(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "model.json" {
+		names := []string{}
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("directory after Save holds %v, want only model.json", names)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("saved model has mode %v, want 0644", fi.Mode().Perm())
+	}
+}
+
+// TestSaveFailurePreservesExisting asserts a failing Save (unwritable
+// directory) does not destroy an existing good file at the destination.
+func TestSaveFailurePreservesExisting(t *testing.T) {
+	m, _ := fitTiny(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if os.Geteuid() == 0 {
+		t.Skip("running as root; read-only directory does not fail writes")
+	}
+	if err := m.Save(path); err == nil {
+		t.Fatal("Save into read-only directory succeeded unexpectedly")
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("existing model corrupted by failed Save: %v", err)
+	}
+}
+
+func TestSaveIntoMissingDirFails(t *testing.T) {
+	m, _ := fitTiny(t)
+	if err := m.Save(filepath.Join(t.TempDir(), "nope", "model.json")); err == nil {
+		t.Fatal("Save into missing directory succeeded unexpectedly")
+	}
+}

@@ -1,0 +1,70 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServePredict measures the full handler path (JSON decode →
+// cache → model → JSON encode) for the two regimes that bound serving
+// latency: cache hits (steady-state repeated queries) and cache misses
+// (every request a fresh configuration, full two-level prediction).
+func BenchmarkServePredict(b *testing.B) {
+	m, params := testModel(b)
+	p := params[0]
+
+	run := func(b *testing.B, s *Server, bodyFor func(i int) []byte) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(bodyFor(i)))
+			w := httptest.NewRecorder()
+			s.Handler().ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	}
+
+	b.Run("hit", func(b *testing.B) {
+		reg := NewRegistry()
+		reg.Install("default", m)
+		s := New(reg, Options{CacheSize: 1024})
+		body, _ := json.Marshal(PredictRequest{Params: p})
+		// Warm the single hot entry.
+		run(b, s, func(int) []byte { return body })
+	})
+
+	b.Run("miss", func(b *testing.B) {
+		reg := NewRegistry()
+		reg.Install("default", m)
+		// A small cache over a much wider key cycle: every request is a
+		// genuine miss (lookup, full two-level prediction, insert, evict).
+		s := New(reg, Options{CacheSize: 16})
+		bodies := make([][]byte, 0, 4096)
+		for i := 0; i < 4096; i++ {
+			q := append([]float64(nil), p...)
+			q[0] += float64(i) * 1e-3
+			raw, _ := json.Marshal(PredictRequest{Params: q})
+			bodies = append(bodies, raw)
+		}
+		run(b, s, func(i int) []byte { return bodies[i%len(bodies)] })
+	})
+
+	b.Run("batch32-hit", func(b *testing.B) {
+		reg := NewRegistry()
+		reg.Install("default", m)
+		s := New(reg, Options{CacheSize: 1024})
+		cfgs := make([][]float64, 32)
+		for i := range cfgs {
+			q := append([]float64(nil), p...)
+			q[0] += float64(i)
+			cfgs[i] = q
+		}
+		body, _ := json.Marshal(PredictRequest{Configs: cfgs})
+		run(b, s, func(int) []byte { return body })
+	})
+}

@@ -1,0 +1,161 @@
+package serving
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is an LRU cache with single-flight deduplication: concurrent
+// Do calls for the same missing key run the compute function once and
+// share its result. Keys embed the model version (see predictKey), so a
+// hot-swap naturally invalidates stale results without an explicit
+// flush. A capacity <= 0 disables caching entirely (Do always computes).
+type Cache struct {
+	capacity int
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*flightCall
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheItem struct {
+	key string
+	val any
+}
+
+// flightCall is one in-progress computation other callers wait on.
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// NewCache creates a cache holding at most capacity entries.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flightCall),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+// It does not touch the hit/miss counters; Do is the accounting path.
+func (c *Cache) Get(key string) (any, bool) {
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+// Do returns the cached value for key, or runs fn exactly once across
+// all concurrent callers of the same key and caches its result. The
+// second return reports whether the value came from the cache (a
+// coalesced caller that waited on another goroutine's computation also
+// reports true — it did not compute). Errors are returned to every
+// waiter and never cached.
+func (c *Cache) Do(key string, fn func() (any, error)) (any, bool, error) {
+	if c.capacity <= 0 {
+		c.misses.Add(1)
+		v, err := fn()
+		return v, false, err
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*cacheItem).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		fl.wg.Wait()
+		return fl.val, fl.err == nil, fl.err
+	}
+	fl := &flightCall{}
+	fl.wg.Add(1)
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	fl.val, fl.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil {
+		c.add(key, fl.val)
+	}
+	c.mu.Unlock()
+	fl.wg.Done()
+	return fl.val, false, fl.err
+}
+
+// add inserts under c.mu, evicting from the LRU tail past capacity.
+func (c *Cache) add(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheItem).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Purge drops every cached entry (in-flight computations are unaffected).
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
+// CacheStats is a point-in-time view of the cache counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      c.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,75 @@
+package serving
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hpcsim"
+	"repro/internal/rng"
+)
+
+// The tests share one fitted model (fitting dominates test wall-clock,
+// predictions are cheap); it is immutable, which is exactly the
+// contract the serving layer relies on.
+var (
+	fixtureOnce   sync.Once
+	fixtureModel  *core.TwoLevelModel
+	fixtureParams [][]float64
+	fixtureErr    error
+)
+
+func fitFixture() (*core.TwoLevelModel, [][]float64, error) {
+	cfg := core.DefaultConfig()
+	cfg.SmallScales = []int{2, 4, 8, 16, 32, 64}
+	cfg.LargeScales = []int{128, 256, 512}
+	cfg.Forest.Trees = 15
+	cfg.CVLambdas = 6
+
+	app := hpcsim.NewSMG()
+	eng := hpcsim.NewEngine(nil, 11)
+	r := rng.New(12)
+	sp := app.Space()
+
+	trainCfgs := sp.SampleLatinHypercube(r, 36)
+	queryCfgs := sp.SampleLatinHypercube(r, 8)
+
+	train, err := eng.GenerateHistory(app, hpcsim.HistorySpec{Configs: trainCfgs, Scales: cfg.SmallScales, Reps: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	anchors, err := eng.GenerateHistory(app, hpcsim.HistorySpec{Configs: trainCfgs[:18], Scales: cfg.LargeScales, Reps: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	train.Merge(anchors)
+
+	m, err := core.Fit(rng.New(13), train, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, queryCfgs, nil
+}
+
+// testModel returns the shared fitted model and a set of in-space query
+// configurations.
+func testModel(tb testing.TB) (*core.TwoLevelModel, [][]float64) {
+	tb.Helper()
+	fixtureOnce.Do(func() {
+		fixtureModel, fixtureParams, fixtureErr = fitFixture()
+	})
+	if fixtureErr != nil {
+		tb.Fatalf("fitting fixture model: %v", fixtureErr)
+	}
+	return fixtureModel, fixtureParams
+}
+
+// newTestServer builds a Server over a registry with the fixture model
+// installed as "default".
+func newTestServer(tb testing.TB, opts Options) (*Server, *Registry, *core.TwoLevelModel, [][]float64) {
+	tb.Helper()
+	m, params := testModel(tb)
+	reg := NewRegistry()
+	reg.Install("default", m)
+	return New(reg, opts), reg, m, params
+}

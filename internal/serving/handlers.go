@@ -1,0 +1,348 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// maxBatch bounds one request's configuration count; larger batches get
+// a 400 rather than an unbounded amount of work.
+const maxBatch = 4096
+
+// maxBodyBytes bounds the request body the server will parse.
+const maxBodyBytes = 8 << 20
+
+// Options configures a Server.
+type Options struct {
+	// CacheSize is the prediction-cache capacity in entries (one entry
+	// per configuration × option set × model version); <= 0 disables
+	// caching. DefaultCacheSize is used when the field is zero and the
+	// options struct itself came from DefaultOptions.
+	CacheSize int
+}
+
+// DefaultCacheSize is the prediction-cache capacity used by DefaultOptions.
+const DefaultCacheSize = 4096
+
+// DefaultOptions returns the production defaults.
+func DefaultOptions() Options { return Options{CacheSize: DefaultCacheSize} }
+
+// Server serves predictions from a Registry over HTTP. Create with New,
+// mount via Handler.
+type Server struct {
+	reg     *Registry
+	cache   *Cache
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server over a registry.
+func New(reg *Registry, opts Options) *Server {
+	s := &Server{
+		reg:     reg,
+		cache:   NewCache(opts.CacheSize),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.Handle("POST /v1/predict", s.instrument("predict", s.handlePredict))
+	s.mux.Handle("GET /v1/models", s.instrument("models", s.handleModels))
+	s.mux.Handle("POST /v1/reload", s.instrument("reload", s.handleReload))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's metrics accumulator (for embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache exposes the prediction cache (for embedding and tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// ---- request/response types ----
+
+// PredictRequest is the POST /v1/predict body. Provide a single
+// configuration in Params or a batch in Configs (or both; Params is
+// prepended). Every configuration must have exactly the model's
+// parameter count.
+type PredictRequest struct {
+	// Model selects a registry entry; empty resolves like Registry.Get.
+	Model string `json:"model,omitempty"`
+
+	Params  []float64   `json:"params,omitempty"`
+	Configs [][]float64 `json:"configs,omitempty"`
+
+	// At predicts at one scale instead of every target scale; must be a
+	// target scale in anchored mode (basis mode accepts any scale >= 1).
+	At int `json:"at,omitempty"`
+
+	// Interval, when in (0, 0.5), adds heuristic prediction intervals at
+	// quantile Interval per target scale. Incompatible with At.
+	Interval float64 `json:"interval,omitempty"`
+
+	// Small adds the interpolated small-scale curve to each result.
+	Small bool `json:"small,omitempty"`
+}
+
+// ConfigResult is one configuration's prediction.
+type ConfigResult struct {
+	Params    []float64       `json:"params"`
+	Cluster   int             `json:"cluster"`
+	Scales    []int           `json:"scales"`
+	Runtimes  []float64       `json:"runtimes"`
+	Small     []float64       `json:"small,omitempty"`
+	Intervals []core.Interval `json:"intervals,omitempty"`
+	Cached    bool            `json:"cached"`
+}
+
+// PredictResponse is the POST /v1/predict reply.
+type PredictResponse struct {
+	Model   string         `json:"model"`
+	Version int            `json:"version"`
+	Results []ConfigResult `json:"results"`
+}
+
+// ModelInfo is one registry entry's public description.
+type ModelInfo struct {
+	Name         string    `json:"name"`
+	Version      int       `json:"version"`
+	Path         string    `json:"path,omitempty"`
+	SHA256       string    `json:"sha256,omitempty"`
+	LoadedAt     time.Time `json:"loaded_at"`
+	Mode         string    `json:"mode"`
+	Params       []string  `json:"params"`
+	SmallScales  []int     `json:"small_scales"`
+	LargeScales  []int     `json:"large_scales"`
+	Clusters     int       `json:"clusters"`
+	TrainConfigs int       `json:"train_configs"`
+	Anchors      int       `json:"anchors"`
+}
+
+func modelInfo(e *Entry) ModelInfo {
+	m := e.Model
+	return ModelInfo{
+		Name:         e.Name,
+		Version:      e.Version,
+		Path:         e.Path,
+		SHA256:       e.SHA256,
+		LoadedAt:     e.LoadedAt,
+		Mode:         string(m.Mode()),
+		Params:       m.ParamNames,
+		SmallScales:  m.Cfg.SmallScales,
+		LargeScales:  m.Cfg.LargeScales,
+		Clusters:     m.Clusters(),
+		TrainConfigs: m.TrainConfigs,
+		Anchors:      m.Anchors,
+	}
+}
+
+// ---- handlers ----
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+
+	entry, ok := s.reg.Get(req.Model)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("model %q not loaded", orDefault(req.Model)))
+		return
+	}
+
+	configs := req.Configs
+	if req.Params != nil {
+		configs = append([][]float64{req.Params}, configs...)
+	}
+	switch {
+	case len(configs) == 0:
+		writeError(w, http.StatusBadRequest, "provide params or configs")
+		return
+	case len(configs) > maxBatch:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds limit %d", len(configs), maxBatch))
+		return
+	case req.At != 0 && req.At < 1:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("at=%d must be >= 1", req.At))
+		return
+	case req.Interval != 0 && (req.Interval <= 0 || req.Interval >= 0.5):
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("interval=%v must be in (0, 0.5)", req.Interval))
+		return
+	case req.Interval != 0 && req.At != 0:
+		writeError(w, http.StatusBadRequest, "interval is incompatible with at; request all target scales")
+		return
+	}
+	want := len(entry.Model.ParamNames)
+	for i, cfg := range configs {
+		if len(cfg) != want {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf(
+				"configuration %d has %d values, model %q expects %d (%v)",
+				i, len(cfg), entry.Name, want, entry.Model.ParamNames))
+			return
+		}
+	}
+
+	resp := PredictResponse{Model: entry.Name, Version: entry.Version, Results: make([]ConfigResult, len(configs))}
+	for i, cfg := range configs {
+		key := predictKey(entry, &req, cfg)
+		v, hit, err := s.cache.Do(key, func() (any, error) {
+			return computeResult(entry.Model, &req, cfg)
+		})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		res := *v.(*ConfigResult) // shallow copy; cached inner slices are never mutated
+		res.Cached = hit
+		resp.Results[i] = res
+		s.metrics.predictions.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// computeResult runs the actual model for one configuration.
+func computeResult(m *core.TwoLevelModel, req *PredictRequest, cfg []float64) (*ConfigResult, error) {
+	res := &ConfigResult{
+		Params:  cfg,
+		Cluster: m.AssignCluster(cfg),
+	}
+	if req.Small {
+		res.Small = m.PredictSmall(cfg)
+	}
+	if req.At > 0 {
+		v, err := m.PredictAt(cfg, req.At)
+		if err != nil {
+			return nil, err
+		}
+		res.Scales = []int{req.At}
+		res.Runtimes = []float64{v}
+		return res, nil
+	}
+	res.Scales = m.Cfg.LargeScales
+	res.Runtimes = m.Predict(cfg)
+	if req.Interval > 0 {
+		res.Intervals = m.PredictInterval(cfg, req.Interval)
+	}
+	return res, nil
+}
+
+// predictKey builds the cache key for one configuration. The model
+// version is part of the key, so a hot-swap invalidates by construction.
+func predictKey(e *Entry, req *PredictRequest, cfg []float64) string {
+	var b strings.Builder
+	b.Grow(64 + 24*len(cfg))
+	b.WriteString(e.Name)
+	b.WriteByte('@')
+	b.WriteString(strconv.Itoa(e.Version))
+	b.WriteString("|at=")
+	b.WriteString(strconv.Itoa(req.At))
+	b.WriteString("|q=")
+	b.WriteString(strconv.FormatFloat(req.Interval, 'g', -1, 64))
+	if req.Small {
+		b.WriteString("|s")
+	}
+	b.WriteByte('|')
+	for i, v := range cfg {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.List()
+	infos := make([]ModelInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = modelInfo(e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	err := s.reg.Reload()
+	entries := s.reg.List()
+	infos := make([]ModelInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = modelInfo(e)
+	}
+	body := map[string]any{"models": infos}
+	status := http.StatusOK
+	if err != nil {
+		body["error"] = err.Error()
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.reg.Len() == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no models loaded"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.reg.Len()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.reg))
+}
+
+// ---- plumbing ----
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with panic recovery and per-endpoint
+// request/error/latency accounting.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panics.Add(1)
+				sr.status = http.StatusInternalServerError
+				writeError(sr, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
+			}
+			s.metrics.record(name, sr.status, time.Since(start))
+		}()
+		h(sr, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func orDefault(name string) string {
+	if name == "" {
+		return "default"
+	}
+	return name
+}

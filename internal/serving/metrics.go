@@ -1,0 +1,158 @@
+package serving
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds) of the fixed
+// latency histogram; an implicit +Inf bucket catches the overflow.
+var latencyBucketsMS = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000,
+}
+
+// histogram is a fixed-bucket latency histogram updated with atomics.
+type histogram struct {
+	counts   []atomic.Int64 // len(latencyBucketsMS)+1, last = +Inf
+	sumNanos atomic.Int64
+	count    atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBucketsMS)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
+}
+
+// HistogramBucket is one cumulative histogram bucket in a snapshot.
+type HistogramBucket struct {
+	LeMS  float64 `json:"le_ms"` // upper bound; 0 marks the +Inf bucket
+	Count int64   `json:"count"` // cumulative count <= LeMS
+}
+
+// HistogramSnapshot is the JSON view of a latency histogram.
+type HistogramSnapshot struct {
+	Count      int64             `json:"count"`
+	SumSeconds float64           `json:"sum_seconds"`
+	MeanMS     float64           `json:"mean_ms"`
+	Buckets    []HistogramBucket `json:"buckets,omitempty"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:      h.count.Load(),
+		SumSeconds: float64(h.sumNanos.Load()) / float64(time.Second),
+	}
+	if s.Count > 0 {
+		s.MeanMS = float64(h.sumNanos.Load()) / float64(time.Millisecond) / float64(s.Count)
+	}
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		b := HistogramBucket{Count: cum}
+		if i < len(latencyBucketsMS) {
+			b.LeMS = latencyBucketsMS[i]
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	return s
+}
+
+// endpointStats accumulates one route's counters.
+type endpointStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	latency  *histogram
+}
+
+// Metrics accumulates server observability counters with atomics; the
+// per-endpoint map is built once at construction and only read
+// afterwards, so no lock is ever taken on the request path.
+type Metrics struct {
+	start       time.Time
+	endpoints   map[string]*endpointStats
+	predictions atomic.Int64 // configurations predicted (batch-aware)
+	panics      atomic.Int64
+}
+
+// metricEndpoints are the route labels instrumented by the server.
+var metricEndpoints = []string{"predict", "models", "reload", "healthz", "metrics", "other"}
+
+// NewMetrics creates a metrics accumulator.
+func NewMetrics() *Metrics {
+	m := &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats, len(metricEndpoints))}
+	for _, name := range metricEndpoints {
+		m.endpoints[name] = &endpointStats{latency: newHistogram()}
+	}
+	return m
+}
+
+// record accumulates one finished request.
+func (m *Metrics) record(endpoint string, status int, d time.Duration) {
+	es, ok := m.endpoints[endpoint]
+	if !ok {
+		es = m.endpoints["other"]
+	}
+	es.requests.Add(1)
+	if status >= 400 {
+		es.errors.Add(1)
+	}
+	es.latency.observe(d)
+}
+
+// EndpointSnapshot is the JSON view of one route's counters.
+type EndpointSnapshot struct {
+	Requests int64             `json:"requests"`
+	Errors   int64             `json:"errors"`
+	Latency  HistogramSnapshot `json:"latency"`
+}
+
+// Snapshot is the JSON document served on /metrics.
+type Snapshot struct {
+	UptimeSeconds    float64                     `json:"uptime_seconds"`
+	RequestsTotal    int64                       `json:"requests_total"`
+	ErrorsTotal      int64                       `json:"errors_total"`
+	PredictionsTotal int64                       `json:"predictions_total"`
+	PanicsTotal      int64                       `json:"panics_total"`
+	ReloadsTotal     int64                       `json:"reloads_total"`
+	Models           int                         `json:"models"`
+	Cache            CacheStats                  `json:"cache"`
+	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// Snapshot captures every counter; cache and registry state are sampled
+// from the collaborators so the document is assembled in one place.
+func (m *Metrics) Snapshot(cache *Cache, reg *Registry) Snapshot {
+	s := Snapshot{
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		PredictionsTotal: m.predictions.Load(),
+		PanicsTotal:      m.panics.Load(),
+		Endpoints:        make(map[string]EndpointSnapshot, len(m.endpoints)),
+	}
+	for name, es := range m.endpoints {
+		req, errs := es.requests.Load(), es.errors.Load()
+		if req == 0 {
+			continue // keep the document small; absent = zero
+		}
+		s.RequestsTotal += req
+		s.ErrorsTotal += errs
+		s.Endpoints[name] = EndpointSnapshot{Requests: req, Errors: errs, Latency: es.latency.snapshot()}
+	}
+	if cache != nil {
+		s.Cache = cache.Stats()
+	}
+	if reg != nil {
+		s.ReloadsTotal = reg.Reloads()
+		s.Models = reg.Len()
+	}
+	return s
+}

@@ -1,0 +1,150 @@
+package serving
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func saveFixture(t *testing.T, dir string) string {
+	t.Helper()
+	m, _ := testModel(t)
+	path := filepath.Join(dir, "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRegistryLoadAndGet(t *testing.T) {
+	path := saveFixture(t, t.TempDir())
+	reg := NewRegistry(Source{Name: "smg", Path: path})
+	if reg.Len() != 0 {
+		t.Fatalf("fresh registry has %d entries", reg.Len())
+	}
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := reg.Get("smg")
+	if !ok || e.Version != 1 || e.Model == nil {
+		t.Fatalf("Get(smg) = %+v, %v", e, ok)
+	}
+	// empty name resolves to the single loaded model
+	if e2, ok := reg.Get(""); !ok || e2 != e {
+		t.Fatalf("Get(\"\") did not resolve the single model")
+	}
+	if _, ok := reg.Get("nope"); ok {
+		t.Fatal("Get(nope) succeeded")
+	}
+	if len(e.SHA256) != 64 {
+		t.Fatalf("entry SHA256 = %q", e.SHA256)
+	}
+}
+
+func TestRegistryUnchangedFileKeepsVersion(t *testing.T) {
+	path := saveFixture(t, t.TempDir())
+	reg := NewRegistry(Source{Name: "default", Path: path})
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := reg.Get("")
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := reg.Get("")
+	if e2 != e1 {
+		t.Fatalf("reload of unchanged file replaced the entry (v%d -> v%d)", e1.Version, e2.Version)
+	}
+	if reg.Reloads() != 2 {
+		t.Fatalf("Reloads() = %d, want 2", reg.Reloads())
+	}
+}
+
+func TestRegistryHotSwapBumpsVersion(t *testing.T) {
+	path := saveFixture(t, t.TempDir())
+	reg := NewRegistry(Source{Name: "default", Path: path})
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := reg.Get("")
+	// Trailing whitespace changes the bytes but not the decoded model.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(" "); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := reg.Get("")
+	if e2.Version != e1.Version+1 {
+		t.Fatalf("version after content change: %d, want %d", e2.Version, e1.Version+1)
+	}
+	if e2.Model == e1.Model {
+		t.Fatal("hot swap did not install a fresh model value")
+	}
+}
+
+func TestRegistryReloadFailureKeepsServing(t *testing.T) {
+	path := saveFixture(t, t.TempDir())
+	reg := NewRegistry(Source{Name: "default", Path: path})
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := reg.Get("")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := reg.Reload()
+	if err == nil {
+		t.Fatal("reload of corrupt file reported no error")
+	}
+	if !strings.Contains(err.Error(), "default") {
+		t.Fatalf("error %q does not name the failing model", err)
+	}
+	e2, ok := reg.Get("")
+	if !ok || e2 != e1 {
+		t.Fatal("corrupt reload evicted the serving entry")
+	}
+}
+
+func TestRegistryInstallSurvivesReload(t *testing.T) {
+	m, _ := testModel(t)
+	path := saveFixture(t, t.TempDir())
+	reg := NewRegistry(Source{Name: "disk", Path: path})
+	reg.Install("mem", m)
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Get("mem"); !ok {
+		t.Fatal("installed entry dropped by Reload")
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", reg.Len())
+	}
+	names := []string{}
+	for _, e := range reg.List() {
+		names = append(names, e.Name)
+	}
+	if names[0] != "disk" || names[1] != "mem" {
+		t.Fatalf("List() order %v", names)
+	}
+	// Reinstall bumps the version.
+	if e := reg.Install("mem", m); e.Version != 2 {
+		t.Fatalf("reinstall version = %d, want 2", e.Version)
+	}
+}
+
+func TestRegistryMissingFileFirstLoad(t *testing.T) {
+	reg := NewRegistry(Source{Name: "default", Path: filepath.Join(t.TempDir(), "absent.json")})
+	if err := reg.Reload(); err == nil {
+		t.Fatal("reload of missing file reported no error")
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("Len() = %d after failed first load", reg.Len())
+	}
+}

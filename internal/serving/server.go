@@ -1,0 +1,68 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// GracefulServer wraps http.Server with drain-on-shutdown semantics:
+// Shutdown stops accepting connections, waits up to the drain timeout
+// for in-flight requests to finish, then force-closes stragglers.
+type GracefulServer struct {
+	HTTP  *http.Server
+	drain time.Duration
+}
+
+// DefaultDrainTimeout bounds how long Shutdown waits for in-flight
+// requests before force-closing connections.
+const DefaultDrainTimeout = 10 * time.Second
+
+// NewGraceful builds a graceful server; drain <= 0 selects the default.
+func NewGraceful(addr string, h http.Handler, drain time.Duration) *GracefulServer {
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+	return &GracefulServer{
+		HTTP: &http.Server{
+			Addr:              addr,
+			Handler:           h,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		drain: drain,
+	}
+}
+
+// ListenAndServe serves until Shutdown; a shutdown-initiated close is
+// not an error.
+func (g *GracefulServer) ListenAndServe() error {
+	err := g.HTTP.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Serve serves on an existing listener (useful for tests and for
+// binding before dropping privileges).
+func (g *GracefulServer) Serve(l net.Listener) error {
+	err := g.HTTP.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in-flight requests for up to the drain timeout, then
+// force-closes whatever remains. It returns nil on a clean drain.
+func (g *GracefulServer) Shutdown() error {
+	ctx, cancel := context.WithTimeout(context.Background(), g.drain)
+	defer cancel()
+	if err := g.HTTP.Shutdown(ctx); err != nil {
+		g.HTTP.Close()
+		return err
+	}
+	return nil
+}
