@@ -3,15 +3,21 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-serving clean
+.PHONY: verify build vet lint test race bench bench-serving clean
 
-verify: build vet race
+verify: build vet lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (determinism, numerical safety, IO
+# hygiene); see README "Static analysis" and internal/lint. Exit 1 on any
+# finding, so verify fails when a new violation is introduced.
+lint:
+	$(GO) run ./cmd/repolint ./...
 
 test:
 	$(GO) test ./...

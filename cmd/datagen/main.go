@@ -14,8 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"repro/internal/cliutil"
+	"sort"
 
+	"repro/internal/cliutil"
 	"repro/internal/hpcsim"
 	"repro/internal/rng"
 )
@@ -108,6 +109,7 @@ func appNames() []string {
 	for n := range hpcsim.Apps() {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -69,7 +69,10 @@ func main() {
 			}
 			fmt.Println()
 			if csvFile != nil {
-				fmt.Fprintf(csvFile, "# %s: %s\n", r.ID, r.Title)
+				if _, err := fmt.Fprintf(csvFile, "# %s: %s\n", r.ID, r.Title); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
 				if err := r.WriteCSV(csvFile); err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)

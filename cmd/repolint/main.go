@@ -1,0 +1,174 @@
+// Command repolint runs the project-specific static-analysis suite
+// (internal/lint) over the module: determinism, numerical safety, and
+// concurrency/IO hygiene invariants that generic tools do not check.
+//
+// Usage:
+//
+//	repolint ./...                     # whole module (the tier-1 gate form)
+//	repolint ./internal/mat ./cmd/...  # a subset of packages
+//	repolint -analyzers floateq ./...  # a subset of analyzers
+//	repolint -list                     # describe every analyzer
+//
+// Exit codes: 0 clean, 1 findings reported, 2 usage or load error.
+// Suppress an intentional finding with
+//
+//	//lint:allow <analyzer> -- <justification>
+//
+// on the flagged line or alone on the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	var (
+		dir   = fs.String("C", ".", "module root directory (must contain go.mod)")
+		names = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list  = fs.Bool("list", false, "list analyzers and exit")
+		quiet = fs.Bool("q", false, "suppress the closing summary line")
+	)
+	fs.Usage = func() {
+		_, _ = fmt.Fprintf(fs.Output(), "usage: repolint [flags] [packages]\n\npackages are ./... style patterns relative to the module root\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *names != "" {
+		var err error
+		analyzers, err = lint.ByName(*names)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	keep, err := selectPackages(mod, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+
+	diags := lint.Run(&lint.Module{Root: mod.Root, Path: mod.Path, Fset: mod.Fset, Pkgs: keep}, analyzers)
+	for _, d := range diags {
+		// Print module-relative paths so output is stable across checkouts.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "repolint: %d finding(s) in %d package(s)\n", len(diags), len(keep))
+		}
+		return 1
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "repolint: %d package(s) clean\n", len(keep))
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// selectPackages filters the module's packages by ./... style patterns.
+func selectPackages(mod *lintModule, patterns []string) ([]*lintPackage, error) {
+	var keep []*lintPackage
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		matched := false
+		for _, pkg := range mod.Pkgs {
+			if matchPattern(mod.Path, pkg.Path, pat) {
+				matched = true
+				if !seen[pkg.Path] {
+					seen[pkg.Path] = true
+					keep = append(keep, pkg)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return keep, nil
+}
+
+// Aliases keep the signatures above readable.
+type (
+	lintModule  = lint.Module
+	lintPackage = lint.Package
+)
+
+// matchPattern implements the useful subset of go-tool package patterns:
+// "./..." (everything), "./x" (exact), "./x/..." (subtree, including x),
+// and bare import paths ("repro/internal/mat", with or without /...).
+func matchPattern(modPath, pkgPath, pat string) bool {
+	pat = strings.TrimSuffix(pat, "/")
+	if rest, ok := strings.CutPrefix(pat, "./"); ok {
+		if rest == "..." {
+			return true
+		}
+		pat = modPath
+		if rest != "" {
+			pat = modPath + "/" + rest
+		}
+	} else if pat == "." {
+		pat = modPath
+	}
+	if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+		return pkgPath == sub || strings.HasPrefix(pkgPath, sub+"/")
+	}
+	return pkgPath == pat
+}

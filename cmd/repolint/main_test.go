@@ -1,0 +1,62 @@
+package main
+
+import "testing"
+
+func TestMatchPattern(t *testing.T) {
+	const mod = "repro"
+	cases := []struct {
+		pkg, pat string
+		want     bool
+	}{
+		{"repro", "./...", true},
+		{"repro/internal/mat", "./...", true},
+		{"repro", ".", true},
+		{"repro/internal/mat", ".", false},
+		{"repro/internal/mat", "./internal/mat", true},
+		{"repro/internal/mat", "./internal/mat/", true},
+		{"repro/internal/mat", "./internal", false},
+		{"repro/internal/mat", "./internal/...", true},
+		{"repro/internal", "./internal/...", true},
+		{"repro/internal/matfoo", "./internal/mat/...", false},
+		{"repro/internal/mat", "repro/internal/mat", true},
+		{"repro/internal/mat", "repro/internal/...", true},
+		{"repro/cmd/serve", "./internal/...", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(mod, c.pkg, c.pat); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.pkg, c.pat, got, c.want)
+		}
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("repolint -list exited %d", code)
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	if code := run([]string{"-analyzers", "nosuch"}); code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+}
+
+// TestSelfLint runs the real tool over the real module: the tier-1
+// acceptance check "cmd/repolint ./... exits 0" in test form.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load is slow")
+	}
+	if code := run([]string{"-q", "-C", "../..", "./..."}); code != 0 {
+		t.Fatalf("repolint ./... exited %d on the repository", code)
+	}
+}
+
+func TestBadPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load is slow")
+	}
+	if code := run([]string{"-q", "-C", "../..", "./does/not/exist"}); code != 2 {
+		t.Fatalf("bad pattern exited %d, want 2", code)
+	}
+}

@@ -63,6 +63,7 @@ func (m *TwoLevelModel) PredictInterval(params []float64, q float64) []Interval 
 // Width returns the relative width (Hi-Lo)/Mid of the interval; 0 when
 // the midpoint is zero.
 func (iv Interval) Width() float64 {
+	//lint:allow floateq -- divide-by-zero guard on the exact degenerate midpoint
 	if iv.Mid == 0 {
 		return 0
 	}

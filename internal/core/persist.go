@@ -55,8 +55,8 @@ func (m *TwoLevelModel) Save(path string) error {
 	}
 	defer func() {
 		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
+			_ = tmp.Close()
+			_ = os.Remove(tmp.Name())
 		}
 	}()
 	if err := m.Write(tmp); err != nil {
@@ -75,7 +75,7 @@ func (m *TwoLevelModel) Save(path string) error {
 	name := tmp.Name()
 	tmp = nil // the deferred cleanup no longer owns the file
 	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
+		_ = os.Remove(name)
 		return err
 	}
 	return nil

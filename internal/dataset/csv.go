@@ -103,7 +103,7 @@ func (t *Table) SaveCSV(path string) error {
 		return err
 	}
 	if err := t.WriteCSV(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

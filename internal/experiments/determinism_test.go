@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderAll runs one experiment under a fresh tiny protocol and renders
+// every report twice over: the aligned ASCII table (what the experiment
+// CLI prints) and the CSV emission (what plotting consumes).
+func renderAll(t *testing.T, id string) []byte {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := e.Run(tinyProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, r := range reports {
+		if err := r.Fprint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteByte('\n')
+		if err := r.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenDeterminism is the byte-level reproducibility gate the
+// repolint suite exists to protect: the same seed must produce the
+// identical report and CSV bytes on every run, including across the
+// parallel parts of the pipeline. A failure here usually means a stray
+// randomness source, wall-clock read, or map-ordered emission slipped in.
+func TestGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full (reduced-size) experiment twice")
+	}
+	// table2 exercises history generation, clustering, the interpolation
+	// level, and every direct baseline; fig2 adds the extrapolation level
+	// across cluster counts.
+	for _, id := range []string{"table2", "fig2"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			a := renderAll(t, id)
+			b := renderAll(t, id)
+			if !bytes.Equal(a, b) {
+				d := firstDiff(a, b)
+				t.Fatalf("two same-seed runs of %s differ at byte %d:\n run1: %s\n run2: %s",
+					id, d, excerpt(a, d), excerpt(b, d))
+			}
+		})
+	}
+}
+
+// firstDiff returns the index of the first differing byte.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// excerpt shows the bytes around position d for the failure message.
+func excerpt(s []byte, d int) string {
+	lo, hi := d-40, d+40
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return string(s[lo:hi])
+}

@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -149,7 +150,7 @@ func (s *Setup) EvalAtScale(scale int, predict func(cfg dataset.Config, curve []
 			continue
 		}
 		p := predict(c, curve)
-		if p != p { // NaN
+		if math.IsNaN(p) {
 			continue
 		}
 		yTrue = append(yTrue, rt)
@@ -173,7 +174,7 @@ func (s *Setup) PairsAtScale(scale int, predict func(cfg dataset.Config, curve [
 			continue
 		}
 		p := predict(c, curve)
-		if p != p {
+		if math.IsNaN(p) {
 			continue
 		}
 		yTrue = append(yTrue, rt)

@@ -99,6 +99,7 @@ func standardize(x *mat.Dense, y []float64) *standardized {
 			ss += d * d
 		}
 		sd := math.Sqrt(ss / float64(n))
+		//lint:allow floateq -- exact guard: a constant column yields a literally-zero standard deviation
 		if sd == 0 {
 			sd = 1
 		}
@@ -230,6 +231,7 @@ func ElasticNet(x *mat.Dense, y []float64, lambda, alpha float64, opt Options) *
 		var maxDelta float64
 		for j := 0; j < p; j++ {
 			cn := s.colNorm[j]
+			//lint:allow floateq -- exact guard: skip all-zero columns (norm is literal 0)
 			if cn == 0 {
 				continue
 			}
@@ -241,6 +243,7 @@ func ElasticNet(x *mat.Dense, y []float64, lambda, alpha float64, opt Options) *
 			}
 			rho += cn * old
 			newb := softThreshold(rho, l1) / (cn + l2)
+			//lint:allow floateq -- no-op update skip: both values come from the identical computation
 			if newb != old {
 				d := newb - old
 				for i := 0; i < x.Rows; i++ {
@@ -291,6 +294,7 @@ func LassoPath(x *mat.Dense, y []float64, k int, epsRatio float64, opt Options) 
 	}
 	opt = opt.withDefaults()
 	lmax := LambdaMax(x, y)
+	//lint:allow floateq -- exact guard: lambda-max is literally 0 only for an all-zero design
 	if lmax == 0 {
 		lmax = 1e-12
 	}
@@ -312,6 +316,7 @@ func LassoPath(x *mat.Dense, y []float64, k int, epsRatio float64, opt Options) 
 			var maxDelta float64
 			for j := 0; j < p; j++ {
 				cn := s.colNorm[j]
+				//lint:allow floateq -- exact guard: skip all-zero columns (norm is literal 0)
 				if cn == 0 {
 					continue
 				}
@@ -322,6 +327,7 @@ func LassoPath(x *mat.Dense, y []float64, k int, epsRatio float64, opt Options) 
 				}
 				rho += cn * old
 				newb := softThreshold(rho, l1) / cn
+				//lint:allow floateq -- no-op update skip: both values come from the identical computation
 				if newb != old {
 					d := newb - old
 					for i := 0; i < x.Rows; i++ {

@@ -28,6 +28,7 @@ func (m *MultiTaskModel) Predict(v []float64) []float64 {
 	out := make([]float64, m.Tasks)
 	copy(out, m.Intercept)
 	for j, xv := range v {
+		//lint:allow floateq -- sparsity fast path: skip features stored as literal 0
 		if xv == 0 {
 			continue
 		}
@@ -101,6 +102,7 @@ func MultiTaskLasso(x, y *mat.Dense, lambda float64, opt Options) *MultiTaskMode
 			ss += d * d
 		}
 		sd := math.Sqrt(ss / float64(n))
+		//lint:allow floateq -- exact guard: a constant column yields a literally-zero standard deviation
 		if sd == 0 {
 			sd = 1
 		}
@@ -139,6 +141,7 @@ func MultiTaskLasso(x, y *mat.Dense, lambda float64, opt Options) *MultiTaskMode
 		var maxDelta float64
 		for j := 0; j < p; j++ {
 			cn := colNorm[j]
+			//lint:allow floateq -- exact guard: skip all-zero columns (norm is literal 0)
 			if cn == 0 {
 				continue
 			}
@@ -149,6 +152,7 @@ func MultiTaskLasso(x, y *mat.Dense, lambda float64, opt Options) *MultiTaskMode
 			}
 			for i := 0; i < n; i++ {
 				xij := xs.At(i, j)
+				//lint:allow floateq -- sparsity fast path: skip entries stored as literal 0
 				if xij == 0 {
 					continue
 				}
@@ -167,12 +171,14 @@ func MultiTaskLasso(x, y *mat.Dense, lambda float64, opt Options) *MultiTaskMode
 			for t := 0; t < tasks; t++ {
 				newb := scale * rho[t]
 				d := newb - brow[t]
+				//lint:allow floateq -- no-op update skip: delta is literal 0 when the coefficient did not move
 				if d != 0 {
 					if ad := math.Abs(d); ad > rowDelta {
 						rowDelta = ad
 					}
 					for i := 0; i < n; i++ {
 						xij := xs.At(i, j)
+						//lint:allow floateq -- sparsity fast path: skip entries stored as literal 0
 						if xij != 0 {
 							resid.Set(i, t, resid.At(i, t)-d*xij)
 						}
@@ -224,6 +230,7 @@ func MultiTaskLambdaMax(x, y *mat.Dense) float64 {
 			ss += d * d
 		}
 		sd := math.Sqrt(ss / float64(n))
+		//lint:allow floateq -- exact guard: a constant column yields a literally-zero standard deviation
 		if sd == 0 {
 			sd = 1
 		}

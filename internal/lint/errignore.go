@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrIgnore flags statements that call an error-returning function and
+// silently drop the error — the pattern that loses a failed CSV flush or
+// model save without a trace. Explicit discards (`_ = f()`) are allowed:
+// they are visible in review. Best-effort terminal output via
+// fmt.Print/Printf/Println and the never-failing writers strings.Builder
+// and bytes.Buffer are exempt.
+var ErrIgnore = &Analyzer{
+	Name: "errignore",
+	Doc:  "no silently discarded error returns; handle the error or discard explicitly with _ =",
+	Run:  runErrIgnore,
+}
+
+// errIgnoreExemptFuncs never carry an error worth handling at a call site:
+// fmt's stdout printers are best-effort by convention in CLI code.
+var errIgnoreExemptFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+// errIgnoreExemptFprints are exempt only when writing to os.Stdout or
+// os.Stderr (best-effort terminal output); the same calls against a file
+// or network writer are flagged.
+var errIgnoreExemptFprints = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
+
+// errIgnoreExemptRecvs are writer types documented to always return a nil
+// error.
+var errIgnoreExemptRecvs = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+func runErrIgnore(pass *Pass) {
+	if pass.Info == nil || pass.Info.Types == nil {
+		return
+	}
+	errorType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+			if !ok {
+				return true // conversion or builtin
+			}
+			returnsError := false
+			for i := 0; i < sig.Results().Len(); i++ {
+				if types.Identical(sig.Results().At(i).Type(), errorType) {
+					returnsError = true
+					break
+				}
+			}
+			if !returnsError || exemptErrCall(pass.Info, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error returned by %s is silently discarded; handle it or write `_ = ...` to discard explicitly",
+				exprString(pass.Fset, call.Fun))
+			return true
+		})
+	}
+}
+
+// exemptErrCall implements the small always-safe allowlist.
+func exemptErrCall(info *types.Info, call *ast.CallExpr) bool {
+	for fn := range errIgnoreExemptFuncs {
+		if isPkgFunc(info, call, "fmt", fn) {
+			return true
+		}
+	}
+	for fn := range errIgnoreExemptFprints {
+		if isPkgFunc(info, call, "fmt", fn) && len(call.Args) > 0 && isStdStream(info, call.Args[0]) {
+			return true
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return errIgnoreExemptRecvs[named.Obj().Pkg().Name()+"."+named.Obj().Name()]
+}
+
+// isStdStream reports whether e resolves to os.Stdout or os.Stderr.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	obj := usedObject(info, e)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}

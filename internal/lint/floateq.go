@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point expressions. Exact float
+// equality is almost always a latent bug next to accumulated rounding
+// error; intentional exact guards (sparsity checks against a value that
+// was literally assigned zero, NaN self-comparison) carry a
+// //lint:allow floateq annotation with a justification.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= between floats; compare with a tolerance, use math.IsNaN, or annotate an intentional exact guard",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	if pass.Info == nil || pass.Info.Types == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt := pass.Info.Types[be.X]
+			yt := pass.Info.Types[be.Y]
+			// Two untyped constants compare exactly at compile time.
+			if xt.Value != nil && yt.Value != nil {
+				return true
+			}
+			if isFloat(xt.Type) || isFloat(yt.Type) {
+				pass.Reportf(be.OpPos, "floating-point %s comparison (%s %s %s); use a tolerance or math.IsNaN, or annotate with //lint:allow floateq",
+					be.Op, exprString(pass.Fset, be.X), be.Op, exprString(pass.Fset, be.Y))
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

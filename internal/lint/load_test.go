@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a file tree under a fresh temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadModule(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":  "module example.com/m\n\ngo 1.22\n",
+		"root.go": "package m\n\nimport \"example.com/m/b\"\n\nfunc Use() int { return b.B() }\n",
+		"a/a.go":  "package a\n\nfunc A() int { return 1 }\n",
+		"a/a_test.go": "package a\n\nimport \"testing\"\n\n" +
+			"func TestA(t *testing.T) { if A() != 1 { t.Fail() } }\n",
+		"b/b.go": "package b\n\nimport \"example.com/m/a\"\n\nfunc B() int { return a.A() }\n",
+		// Must all be skipped:
+		"a/testdata/broken.go": "package !!!syntax error\n",
+		"vendor/v/v.go":        "package v\n\nfunc !!!\n",
+		".hidden/h.go":         "package h\n\nfunc !!!\n",
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "example.com/m" {
+		t.Fatalf("module path = %q", mod.Path)
+	}
+	idx := map[string]int{}
+	for i, p := range mod.Pkgs {
+		idx[p.Path] = i
+		if p.Types == nil && len(p.Files) > 0 {
+			t.Errorf("%s not type-checked", p.Path)
+		}
+	}
+	if len(mod.Pkgs) != 3 {
+		t.Fatalf("loaded %d packages, want 3: %v", len(mod.Pkgs), idx)
+	}
+	// Topological: a before b, b before the root (which imports b).
+	if !(idx["example.com/m/a"] < idx["example.com/m/b"] && idx["example.com/m/b"] < idx["example.com/m"]) {
+		t.Fatalf("packages not dependencies-first: %v", idx)
+	}
+	a := mod.Pkgs[idx["example.com/m/a"]]
+	if len(a.TestFiles) != 1 {
+		t.Fatalf("package a has %d test files, want 1", len(a.TestFiles))
+	}
+}
+
+func TestLoadModuleRejectsCycle(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nimport \"example.com/m/b\"\n\nvar A = b.B\n",
+		"b/b.go": "package b\n\nimport \"example.com/m/a\"\n\nvar B = a.A\n",
+	})
+	if _, err := LoadModule(root); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected import-cycle error, got %v", err)
+	}
+}
+
+func TestLoadModuleReportsTypeErrors(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc A() int { return \"not an int\" }\n",
+	})
+	if _, err := LoadModule(root); err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("expected type-check error, got %v", err)
+	}
+}
+
+func TestModulePathUnquoted(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "// comment\nmodule \"example.com/q\"\n",
+		"a.go":   "package q\n",
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "example.com/q" {
+		t.Fatalf("module path = %q", mod.Path)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("floateq, errignore")
+	if err != nil || len(as) != 2 || as[0].Name != "floateq" || as[1].Name != "errignore" {
+		t.Fatalf("ByName = %v, %v", as, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+	if _, err := ByName(" ,"); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}
+
+func TestAllowDirectiveParsing(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+func cmp(x float64) bool {
+	//lint:allow floateq -- standalone form
+	return x == 0
+}
+
+func cmp2(x float64) bool {
+	return x == 1 //lint:allow floateq — em-dash justification
+}
+
+func cmp3(x float64) bool {
+	return x == 2 //lint:allow nowallclock -- wrong analyzer: must NOT suppress
+}
+`,
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(mod, []*Analyzer{FloatEq})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the wrong-name one: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 13 {
+		t.Fatalf("surviving diagnostic at line %d, want 13", diags[0].Pos.Line)
+	}
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIterOrder flags `range` over a map whose body has order-dependent
+// effects: writing to an output stream, or appending to a slice that
+// outlives the loop. Go randomizes map iteration order, so both patterns
+// are the classic source of run-to-run diffs in reports, CSV, and JSON.
+//
+// The canonical fix — collect keys, sort, iterate the sorted slice — is
+// recognized: an append-collecting loop is NOT flagged when a following
+// statement in the same block sorts the collected slice. Loops whose
+// order genuinely does not matter carry //lint:allow mapiterorder.
+var MapIterOrder = &Analyzer{
+	Name: "mapiterorder",
+	Doc:  "no order-dependent output or accumulation inside range-over-map; iterate sorted keys instead",
+	Run:  runMapIterOrder,
+}
+
+// orderedWriteMethods are method names that emit to a stream in call order.
+var orderedWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Printf": true, "Print": true, "Println": true,
+}
+
+// fmtPrintFuncs are the fmt emitters (both stdout and io.Writer forms).
+var fmtPrintFuncs = []string{"Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println"}
+
+func runMapIterOrder(pass *Pass) {
+	if pass.Info == nil || pass.Info.Types == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass.Info, rs) {
+					continue
+				}
+				checkMapRange(pass, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange reports order-dependent effects in one map-range body.
+// rest holds the statements following the loop in its enclosing block,
+// consulted to recognize the collect-then-sort idiom.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	// Order-dependent stream writes anywhere in the body.
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isOrderedWrite(pass.Info, call) {
+			pass.Reportf(call.Pos(), "%s emits output inside range over map %s; iteration order is random — iterate sorted keys",
+				exprString(pass.Fset, call.Fun), exprString(pass.Fset, rs.X))
+		}
+		return true
+	})
+
+	// Appends that accumulate into a slice outliving the loop.
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass.Info, call) || i >= len(as.Lhs) {
+				continue
+			}
+			obj := usedObject(pass.Info, as.Lhs[i])
+			if obj == nil || declaredWithin(obj, rs) || sortedLater(pass.Info, obj, rest) {
+				continue
+			}
+			pass.Reportf(call.Pos(), "append to %s inside range over map %s accumulates in random order; sort %s afterwards or iterate sorted keys",
+				obj.Name(), exprString(pass.Fset, rs.X), obj.Name())
+		}
+		return true
+	})
+}
+
+// isOrderedWrite reports whether the call emits bytes to a stream whose
+// contents depend on call order: fmt print/fprint functions or Write-like
+// methods (Write, WriteString, Encode, ...).
+func isOrderedWrite(info *types.Info, call *ast.CallExpr) bool {
+	for _, fn := range fmtPrintFuncs {
+		if isPkgFunc(info, call, "fmt", fn) {
+			return true
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !orderedWriteMethods[sel.Sel.Name] {
+		return false
+	}
+	// Only method calls count (x.Write(...)), not package functions named
+	// Write — the receiver is what identifies a stream.
+	_, isMethod := info.Selections[sel]
+	return isMethod
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// declaredWithin reports whether obj is declared inside node's extent
+// (i.e. loop-local, so its order resets every iteration group).
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// sortedLater reports whether a statement after the loop sorts obj: a call
+// into package sort or slices that mentions the object. That is the
+// canonical deterministic-iteration idiom and must not be flagged.
+func sortedLater(info *types.Info, obj types.Object, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel]
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			if mentionsObject(info, call, obj) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// randRestrictedPkgs are the module-relative package subtrees whose
+// stochastic behaviour must flow from internal/rng so a single seed
+// reproduces every experiment. cmd/ and internal/serving may import other
+// libraries freely (they hold no experiment randomness), and internal/rng
+// itself is the one sanctioned generator.
+var randRestrictedPkgs = []string{
+	"internal/tree",
+	"internal/linmod",
+	"internal/hpcsim",
+	"internal/experiments",
+	"internal/core",
+	"internal/forest",
+	"internal/gbrt",
+	"internal/cluster",
+	"internal/knn",
+	"internal/dataset",
+	"internal/scalefit",
+	"internal/baselines",
+	"internal/stats",
+	"internal/mat",
+}
+
+// forbiddenRandImports are the generators that would silently break
+// seed-determinism (math/rand family) or are non-deterministic by design
+// (crypto/rand).
+var forbiddenRandImports = []string{"math/rand", "math/rand/v2", "crypto/rand"}
+
+// NoDirectRand forbids math/rand, math/rand/v2, and crypto/rand imports in
+// model/experiment packages (which must draw from internal/rng), and flags
+// wall-clock-derived seeding (time.Now inside a Seed/New* call) anywhere
+// in the module, including cmd/ where the clock itself is otherwise legal.
+var NoDirectRand = &Analyzer{
+	Name: "nodirectrand",
+	Doc:  "model/experiment packages must use internal/rng, never math/rand, crypto/rand, or time-based seeds",
+	Run:  runNoDirectRand,
+}
+
+func runNoDirectRand(pass *Pass) {
+	rel := pass.RelPath()
+	restricted := false
+	for _, p := range randRestrictedPkgs {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			restricted = true
+			break
+		}
+	}
+	if restricted {
+		// Import inspection is purely syntactic, so test files are held to
+		// the same standard: a test seeding from math/rand is as
+		// non-reproducible as library code doing it.
+		for _, f := range append(append([]*ast.File{}, pass.Files...), pass.TestFiles...) {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				for _, bad := range forbiddenRandImports {
+					if path == bad {
+						pass.Reportf(imp.Pos(), "import of %s in model/experiment package %s; draw randomness from internal/rng so one seed reproduces the run", path, pass.PkgPath)
+					}
+				}
+			}
+		}
+	}
+
+	// Clock-derived seeding: a call spelled Seed(...) or New*(...) with a
+	// time.Now() call anywhere in its arguments. This needs type info and
+	// runs over every package — cmd/ may read the clock, but must not feed
+	// it into a generator.
+	if pass.Info == nil || pass.Info.Uses == nil {
+		return
+	}
+	// Nested constructor calls (rand.New(rand.NewSource(time.Now()...)))
+	// would otherwise report the same clock read once per enclosing call.
+	seen := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if name != "Seed" && !strings.HasPrefix(name, "New") {
+				return true
+			}
+			for _, arg := range call.Args {
+				var clock ast.Node
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if clock != nil {
+						return false
+					}
+					if c, ok := m.(*ast.CallExpr); ok && isPkgFunc(pass.Info, c, "time", "Now") {
+						clock = c
+						return false
+					}
+					return true
+				})
+				if clock != nil && !seen[clock.Pos()] {
+					seen[clock.Pos()] = true
+					pass.Reportf(clock.Pos(), "wall-clock value seeds %s; use a fixed or flag-provided seed so the run is reproducible", name)
+				}
+			}
+			return true
+		})
+	}
+}

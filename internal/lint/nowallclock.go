@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallClockAllowedPkgs are module-relative subtrees where reading the wall
+// clock is legitimate: the serving stack (uptime, latency metrics) and the
+// CLIs (progress reporting). Everything else — models, simulator,
+// experiments — must be a pure function of its seed so artifacts are
+// byte-reproducible.
+var wallClockAllowedPkgs = []string{
+	"internal/serving",
+	"internal/lint", // the linter may time itself if it ever wants to
+	"cmd",
+}
+
+// wallClockFuncs are the time-package functions that observe the clock.
+var wallClockFuncs = []string{"Now", "Since", "Until"}
+
+// NoWallClock forbids time.Now / time.Since / time.Until outside
+// internal/serving and cmd/, keeping experiment artifacts seed-deterministic.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "no wall-clock reads outside internal/serving and cmd/; experiment output must be a function of the seed",
+	Run:  runNoWallClock,
+}
+
+func runNoWallClock(pass *Pass) {
+	rel := pass.RelPath()
+	for _, p := range wallClockAllowedPkgs {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return
+		}
+	}
+	if pass.Info == nil || pass.Info.Uses == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, fn := range wallClockFuncs {
+				if isPkgFunc(pass.Info, call, "time", fn) {
+					pass.Reportf(call.Pos(), "time.%s in %s reads the wall clock; only internal/serving and cmd/ may observe real time", fn, pass.PkgPath)
+				}
+			}
+			return true
+		})
+	}
+}

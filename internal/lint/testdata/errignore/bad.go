@@ -1,0 +1,40 @@
+// Fixture: silently discarded error returns, plus every exempt form.
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func drop(path string) {
+	os.Remove(path) // want errignore
+}
+
+func dropMethod(f *os.File) {
+	f.Close() // want errignore
+}
+
+func fileFprintf(f *os.File) {
+	fmt.Fprintf(f, "x") // want errignore: a file is not a std stream
+}
+
+func propagate(path string) error { return os.Remove(path) }
+
+func explicit(path string) {
+	_ = os.Remove(path) // visible discard: fine
+}
+
+func stdStreams() {
+	fmt.Println("hi")
+	fmt.Fprintln(os.Stderr, "hi")
+	fmt.Fprintf(os.Stdout, "%d\n", 1)
+}
+
+func neverFails(b *strings.Builder, buf *bytes.Buffer) {
+	b.WriteString("x")
+	buf.WriteString("y")
+}
+
+func noError() { println("builtin") }

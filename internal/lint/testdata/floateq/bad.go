@@ -1,0 +1,40 @@
+// Fixture: float equality comparisons; marked lines must be flagged,
+// the rest must not.
+package fixture
+
+func eq(a, b float64) bool {
+	return a == b // want floateq
+}
+
+func zeroGuard(a float64) bool {
+	return a != 0 // want floateq
+}
+
+func nanCheck(a float64) bool {
+	return a != a // want floateq
+}
+
+func narrow(a float32) bool {
+	return a == 1.5 // want floateq
+}
+
+func allowedGuard(a float64) bool {
+	//lint:allow floateq -- fixture: intentional exact guard, suppressed
+	return a == 0
+}
+
+func inlineAllowed(a float64) bool {
+	return a == 0 //lint:allow floateq -- fixture: inline form
+}
+
+func wrongAllow(a float64) bool {
+	return a == 2 //lint:allow nowallclock -- fixture: wrong analyzer name must not suppress // want floateq
+}
+
+func ints(a, b int) bool { return a == b }
+
+const eps = 1e-9
+
+func constFold() bool { return eps == 1e-9 } // constant comparison: compile-time exact
+
+func ordered(a, b float64) bool { return a < b } // inequalities are fine

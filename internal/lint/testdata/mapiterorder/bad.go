@@ -1,0 +1,76 @@
+// Fixture: order-dependent effects inside range-over-map, plus the
+// canonical collect-then-sort idiom that must stay silent.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func emit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want mapiterorder
+	}
+}
+
+func build(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want mapiterorder
+	}
+	return b.String()
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want mapiterorder
+	}
+	return keys
+}
+
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // order-insensitive accumulation is fine
+	}
+	return total
+}
+
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v) // loop-local slice: fine
+		}
+		n += len(doubled)
+	}
+	return n
+}
+
+func sliceRange(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x) // slices iterate in order: fine
+	}
+}

@@ -1,0 +1,22 @@
+// Fixture: known-bad randomness sources. Checked under a restricted
+// package path (repro/internal/tree) by the tests; `// want <analyzer>`
+// comments mark the lines that must be flagged.
+package fixture
+
+import (
+	crand "crypto/rand" // want nodirectrand
+	"math/rand"         // want nodirectrand
+	"time"
+)
+
+func draw() float64 {
+	return rand.New(rand.NewSource(time.Now().UnixNano())).Float64() // want nodirectrand
+}
+
+func fill(b []byte) {
+	_, _ = crand.Read(b)
+}
+
+func reseed(r *rand.Rand) {
+	r.Seed(time.Now().Unix()) // want nodirectrand
+}

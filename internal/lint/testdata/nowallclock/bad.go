@@ -1,0 +1,20 @@
+// Fixture: wall-clock reads that must be flagged outside the serving and
+// cmd subtrees (the tests check this file under several package paths).
+package fixture
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want nowallclock
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want nowallclock
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want nowallclock
+}
+
+// Durations and formatting do not observe the clock and stay legal.
+func pause() time.Duration { return 3 * time.Second }

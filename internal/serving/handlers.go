@@ -175,9 +175,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	case req.At != 0 && req.At < 1:
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("at=%d must be >= 1", req.At))
 		return
+	//lint:allow floateq -- exact sentinel: 0 is the JSON zero value marking an unset interval field
 	case req.Interval != 0 && (req.Interval <= 0 || req.Interval >= 0.5):
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("interval=%v must be in (0, 0.5)", req.Interval))
 		return
+	//lint:allow floateq -- exact sentinel: 0 is the JSON zero value marking an unset interval field
 	case req.Interval != 0 && req.At != 0:
 		writeError(w, http.StatusBadRequest, "interval is incompatible with at; request all target scales")
 		return
@@ -333,7 +335,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	// A failed response write means the client went away mid-reply; the
+	// status line is already committed, so there is nothing left to do.
+	_ = enc.Encode(v)
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {

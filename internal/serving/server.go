@@ -61,7 +61,7 @@ func (g *GracefulServer) Shutdown() error {
 	ctx, cancel := context.WithTimeout(context.Background(), g.drain)
 	defer cancel()
 	if err := g.HTTP.Shutdown(ctx); err != nil {
-		g.HTTP.Close()
+		_ = g.HTTP.Close() // the drain timeout is the error worth surfacing
 		return err
 	}
 	return nil

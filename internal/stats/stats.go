@@ -144,6 +144,7 @@ func APE(yTrue, yPred []float64) []float64 {
 	checkPaired(yTrue, yPred)
 	out := make([]float64, 0, len(yTrue))
 	for i, yt := range yTrue {
+		//lint:allow floateq -- divide-by-zero guard: APE is undefined at an exactly-zero truth
 		if yt == 0 {
 			continue
 		}
@@ -198,6 +199,7 @@ func R2(yTrue, yPred []float64) float64 {
 		t := yTrue[i] - m
 		ssTot += t * t
 	}
+	//lint:allow floateq -- exact guard: total sum of squares is literal 0 only for a constant series
 	if ssTot == 0 {
 		return 0
 	}
@@ -217,6 +219,7 @@ func Pearson(x, y []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
+	//lint:allow floateq -- exact guard: variance is literal 0 only for a constant series
 	if sxx == 0 || syy == 0 {
 		return 0
 	}
@@ -240,6 +243,7 @@ func ranks(x []float64) []float64 {
 	r := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		//lint:allow floateq -- exact ties: rank correlation groups identical stored values
 		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
 			j++
 		}

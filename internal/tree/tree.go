@@ -216,6 +216,7 @@ func bestSplit(ws *workspace, idx []int) (feature int, threshold, gain float64) 
 			leftSq += yv * yv
 			xv := ws.x.At(order[k], f)
 			xNext := ws.x.At(order[k+1], f)
+			//lint:allow floateq -- exact guard: no split exists between bitwise-equal feature values
 			if xv == xNext {
 				continue // can't split between equal values
 			}
@@ -233,6 +234,7 @@ func bestSplit(ws *workspace, idx []int) (feature int, threshold, gain float64) 
 				gain = g
 				feature = f
 				threshold = xv + (xNext-xv)/2
+				//lint:allow floateq -- exact rounding check: the midpoint of adjacent floats can round up to the endpoint
 				if threshold == xNext { // midpoint rounded up between adjacent floats
 					threshold = xv
 				}
