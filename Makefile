@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint test race bench bench-serving clean
+.PHONY: verify build vet lint test race bench bench-paper bench-serving clean
 
 verify: build vet lint race
 
@@ -25,9 +25,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Hot-path benchmark baseline (forest fit, serve predict, pipeline
+# retrain+promote, store ingest), committed as BENCH_pipeline.json via
+# cmd/benchjson so regressions show up in review diffs. -benchtime=1x
+# keeps it cheap enough for CI smoke; raise it locally for stable numbers.
+bench:
+	$(GO) test -run='^$$' -benchmem -benchtime=1x \
+		-bench='^(BenchmarkFit500x6x50Trees|BenchmarkServePredict|BenchmarkPipelineRetrainPromote|BenchmarkStoreAppend)$$' \
+		./internal/forest/ ./internal/serving/ ./internal/pipeline/ > bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_pipeline.json
+	@rm -f bench.out
+
 # Reduced-size reconstruction of every table/figure plus the core
 # micro-benchmarks; see bench_test.go.
-bench:
+bench-paper:
 	$(GO) test -bench=. -benchtime=1x .
 
 # Serving-path latency (cache hit vs. miss), tracked across PRs.

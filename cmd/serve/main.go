@@ -16,6 +16,13 @@
 //
 // SIGHUP hot-reloads the model files without dropping in-flight
 // requests; SIGINT/SIGTERM shut down gracefully, draining for -drain.
+//
+// With -pipeline-store and -pipeline-dir, the continuous-training
+// pipeline runs inside the server: active generations are installed at
+// startup, and every -pipeline-interval the store is checked for new
+// records, due applications are retrained, gated against the serving
+// incumbent, and promoted live (visible on /v1/models and /metrics
+// without a restart). -model then becomes optional.
 package main
 
 import (
@@ -27,7 +34,10 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/pipeline"
 	"repro/internal/serving"
 )
 
@@ -46,11 +56,19 @@ func main() {
 		addr  = flag.String("addr", ":8080", "listen address")
 		cache = flag.Int("cache", serving.DefaultCacheSize, "prediction cache capacity (0 disables)")
 		drain = flag.Duration("drain", serving.DefaultDrainTimeout, "graceful-shutdown drain timeout")
+
+		pipeStore    = flag.String("pipeline-store", "", "run-record store directory; enables the embedded training pipeline")
+		pipeDir      = flag.String("pipeline-dir", "", "pipeline generations directory (model files + journal)")
+		pipeInterval = flag.Duration("pipeline-interval", time.Minute, "how often the pipeline checks for due retrains (0 disables the loop)")
+		pipeMinNew   = flag.Int("pipeline-min-new", 1, "retrain an app once this many new records arrived")
+		pipeSlack    = flag.Float64("pipeline-slack", 0.05, "allowed relative MAPE regression before rejecting a candidate")
+		pipeHoldout  = flag.Int("pipeline-holdout-denom", 5, "hold out 1/D of configurations for the promotion gate")
+		pipeSeed     = flag.Uint64("pipeline-seed", 1, "base random seed for pipeline retraining")
 	)
 	flag.Parse()
 
-	if len(models) == 0 {
-		fatalf("at least one -model is required")
+	if len(models) == 0 && *pipeStore == "" {
+		fatalf("at least one -model is required (or enable the pipeline with -pipeline-store)")
 	}
 	sources, err := parseSources(models)
 	if err != nil {
@@ -61,13 +79,32 @@ func main() {
 	if err := reg.Reload(); err != nil {
 		fatalf("loading models: %v", err)
 	}
+
+	p, err := setupPipeline(reg, *pipeStore, *pipeDir, pipeline.Config{
+		Core:          core.DefaultConfig(),
+		Seed:          *pipeSeed,
+		Gate:          pipeline.GateConfig{HoldoutDenominator: *pipeHoldout, AllowedRegression: *pipeSlack},
+		MinNewRecords: *pipeMinNew,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
 	for _, e := range reg.List() {
-		log.Printf("loaded model %q v%d from %s (%d params, mode %s)",
-			e.Name, e.Version, e.Path, len(e.Model.ParamNames), e.Model.Mode())
+		from := e.Path
+		if from == "" {
+			from = "pipeline journal"
+		}
+		log.Printf("loaded model %q v%d gen %d from %s (%d params, mode %s)",
+			e.Name, e.Version, e.Generation, from, len(e.Model.ParamNames), e.Model.Mode())
 	}
 
 	srv := serving.New(reg, serving.Options{CacheSize: *cache})
 	g := serving.NewGraceful(*addr, srv.Handler(), *drain)
+
+	stopPipeline := make(chan struct{})
+	if p != nil && *pipeInterval > 0 {
+		go runPipelineLoop(p, *pipeInterval, stopPipeline)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
@@ -82,6 +119,7 @@ func main() {
 				continue
 			}
 			log.Printf("%s: draining for up to %s", sig, *drain)
+			close(stopPipeline)
 			if err := g.Shutdown(); err != nil {
 				log.Printf("shutdown: %v", err)
 			}
@@ -122,6 +160,67 @@ func parseSources(models []string) ([]serving.Source, error) {
 		sources = append(sources, src)
 	}
 	return sources, nil
+}
+
+// setupPipeline opens the embedded continuous-training pipeline and
+// installs every app's active generation into the registry. Returns nil
+// when -pipeline-store is unset.
+func setupPipeline(reg *serving.Registry, storeDir, gensDir string, cfg pipeline.Config) (*pipeline.Pipeline, error) {
+	if storeDir == "" {
+		return nil, nil
+	}
+	if gensDir == "" {
+		return nil, fmt.Errorf("-pipeline-store requires -pipeline-dir")
+	}
+	store, err := pipeline.OpenStore(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	p, err := pipeline.New(store, gensDir, cfg, reg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.InstallActive(); err != nil {
+		return nil, fmt.Errorf("installing active generations: %w", err)
+	}
+	log.Printf("pipeline: store %s, generations %s, %d app(s)", storeDir, gensDir, len(store.Apps()))
+	return p, nil
+}
+
+// runPipelineLoop periodically sweeps the store for due retrains until
+// stop closes. Cycle errors are logged, not fatal: the server keeps
+// serving the incumbents.
+func runPipelineLoop(p *pipeline.Pipeline, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		// Records may have been ingested by another process (pipeline
+		// ingest); re-index before checking triggers.
+		if err := p.Store().Refresh(); err != nil {
+			log.Printf("pipeline: refreshing store: %v", err)
+			continue
+		}
+		now := time.Now().UTC().Format(time.RFC3339)
+		results, err := p.RunAll(now)
+		for _, res := range results {
+			switch {
+			case res.Skipped:
+				// Quiet: nothing due is the steady state.
+			case res.Promoted:
+				log.Printf("pipeline: %s gen %d promoted (%s)", res.App, res.Gen, res.Gate.Reason)
+			default:
+				log.Printf("pipeline: %s gen %d rejected (%s)", res.App, res.Gen, res.Gate.Reason)
+			}
+		}
+		if err != nil {
+			log.Printf("pipeline: %v", err)
+		}
+	}
 }
 
 func fatalf(format string, args ...interface{}) {

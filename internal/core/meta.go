@@ -1,0 +1,21 @@
+package core
+
+// ModelMeta records the provenance a continuous-training pipeline needs
+// to reason about a saved model: which application's history it was
+// fitted on, which pipeline generation produced it, and a content hash
+// of the exact training set. The fields are informational — prediction
+// never reads them — but they round-trip through Write/Read so a model
+// file is self-describing and the serving layer can expose them.
+//
+// Generation 0 (the zero value) marks a model trained outside the
+// pipeline, e.g. by cmd/train.
+type ModelMeta struct {
+	// App is the application whose history trained the model.
+	App string `json:"app,omitempty"`
+	// Generation is the pipeline's monotonic generation counter at
+	// training time; 0 for models trained outside the pipeline.
+	Generation int `json:"generation,omitempty"`
+	// TrainHash is a SHA-256 over the canonical CSV serialization of the
+	// training table, so two models can be compared for "same data".
+	TrainHash string `json:"train_hash,omitempty"`
+}

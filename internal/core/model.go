@@ -17,6 +17,10 @@ type TwoLevelModel struct {
 	Cfg        Config
 	ParamNames []string
 
+	// Meta carries training provenance (pipeline generation, training-set
+	// hash); see ModelMeta. Zero for models trained outside the pipeline.
+	Meta ModelMeta `json:"meta"`
+
 	// Interp holds one interpolation forest per small scale, aligned with
 	// Cfg.SmallScales.
 	Interp []*forest.Forest

@@ -96,6 +96,24 @@ func TestSaveFailurePreservesExisting(t *testing.T) {
 	}
 }
 
+// TestMetaRoundtrip asserts training provenance survives save/load, so
+// the pipeline and the serving layer agree on a file's generation.
+func TestMetaRoundtrip(t *testing.T) {
+	m, _ := fitTiny(t)
+	m.Meta = ModelMeta{App: "smg2000", Generation: 7, TrainHash: "abc123"}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Meta != m.Meta {
+		t.Fatalf("Meta round-trip: got %+v, want %+v", loaded.Meta, m.Meta)
+	}
+}
+
 func TestSaveIntoMissingDirFails(t *testing.T) {
 	m, _ := fitTiny(t)
 	if err := m.Save(filepath.Join(t.TempDir(), "nope", "model.json")); err == nil {

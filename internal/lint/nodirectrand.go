@@ -23,6 +23,7 @@ var randRestrictedPkgs = []string{
 	"internal/cluster",
 	"internal/knn",
 	"internal/dataset",
+	"internal/pipeline",
 	"internal/scalefit",
 	"internal/baselines",
 	"internal/stats",

@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hpcsim"
+	"repro/internal/rng"
+)
+
+// Test fixtures: simulated execution histories, generated once (history
+// generation plus fitting dominates the package's test wall-clock). The
+// tables are treated as immutable by every test.
+var (
+	fixtureOnce sync.Once
+	fixtureHist *dataset.Table // 40 configs at small scales, 24 at large scales
+	fixtureMore *dataset.Table // 16 further configs, the "new records arrive" batch
+	fixtureErr  error
+)
+
+// testSmall and testLarge are the scales the fixture histories cover.
+var (
+	testSmall = []int{2, 4, 8, 16, 32, 64}
+	testLarge = []int{128, 256}
+)
+
+// testCoreConfig returns a fast-but-real model configuration matching
+// the fixture histories.
+func testCoreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.SmallScales = testSmall
+	cfg.LargeScales = testLarge
+	cfg.Forest.Trees = 12
+	cfg.CVLambdas = 5
+	return cfg
+}
+
+func buildFixtures() (*dataset.Table, *dataset.Table, error) {
+	app := hpcsim.NewSMG()
+	eng := hpcsim.NewEngine(nil, 21)
+	r := rng.New(22)
+	sp := app.Space()
+
+	cfgs := sp.SampleLatinHypercube(r, 56)
+	first, rest := cfgs[:40], cfgs[40:]
+
+	hist, err := eng.GenerateHistory(app, hpcsim.HistorySpec{Configs: first, Scales: testSmall, Reps: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	anchors, err := eng.GenerateHistory(app, hpcsim.HistorySpec{Configs: first[:24], Scales: testLarge, Reps: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	hist.Merge(anchors)
+
+	more, err := eng.GenerateHistory(app, hpcsim.HistorySpec{Configs: rest, Scales: testSmall, Reps: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	moreAnchors, err := eng.GenerateHistory(app, hpcsim.HistorySpec{Configs: rest[:10], Scales: testLarge, Reps: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	more.Merge(moreAnchors)
+	return hist, more, nil
+}
+
+// testHistories returns the shared first-batch and second-batch tables.
+func testHistories(tb testing.TB) (hist, more *dataset.Table) {
+	tb.Helper()
+	fixtureOnce.Do(func() {
+		fixtureHist, fixtureMore, fixtureErr = buildFixtures()
+	})
+	if fixtureErr != nil {
+		tb.Fatalf("generating fixture histories: %v", fixtureErr)
+	}
+	return fixtureHist, fixtureMore
+}
+
+// newSeededStore opens a store in dir and imports the first fixture
+// batch.
+func newSeededStore(tb testing.TB, dir string) *Store {
+	tb.Helper()
+	hist, _ := testHistories(tb)
+	s, err := OpenStore(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, _, err := s.ImportTable(hist); err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,137 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func TestSplitHoldoutIsDeterministicAndConfigAligned(t *testing.T) {
+	hist, _ := testHistories(t)
+	train1, hold1 := SplitHoldout(hist, 5)
+	train2, hold2 := SplitHoldout(hist, 5)
+	if TableHash(train1) != TableHash(train2) || TableHash(hold1) != TableHash(hold2) {
+		t.Fatal("SplitHoldout is not deterministic")
+	}
+	if train1.Len()+hold1.Len() != hist.Len() {
+		t.Fatalf("split loses runs: %d + %d != %d", train1.Len(), hold1.Len(), hist.Len())
+	}
+	if hold1.Len() == 0 || train1.Len() == 0 {
+		t.Fatalf("degenerate split: train %d, holdout %d", train1.Len(), hold1.Len())
+	}
+	// No configuration straddles the split.
+	holdKeys := map[string]bool{}
+	for _, run := range hold1.Runs {
+		holdKeys[dataset.ParamKey(run.Params)] = true
+	}
+	for _, run := range train1.Runs {
+		if holdKeys[dataset.ParamKey(run.Params)] {
+			t.Fatalf("configuration %v appears on both sides", run.Params)
+		}
+	}
+	// The split is a function of the parameters only: growing the table
+	// never moves an existing configuration across the boundary.
+	_, more := testHistories(t)
+	grown := dataset.NewTable(hist.App, hist.ParamNames)
+	grown.Runs = append(append([]dataset.Run{}, hist.Runs...), more.Runs...)
+	_, holdGrown := SplitHoldout(grown, 5)
+	grownKeys := map[string]bool{}
+	for _, run := range holdGrown.Runs {
+		grownKeys[dataset.ParamKey(run.Params)] = true
+	}
+	for k := range holdKeys {
+		if !grownKeys[k] {
+			t.Fatalf("configuration %s left the holdout when the table grew", k)
+		}
+	}
+}
+
+// gateModels fits one good model and one deliberately broken one (a
+// handful of training configs, scrambled runtimes) over the fixture
+// history, shared by the gate tests.
+func gateModels(t *testing.T) (good, bad *core.TwoLevelModel, holdout *dataset.Table) {
+	t.Helper()
+	hist, _ := testHistories(t)
+	train, hold := SplitHoldout(hist, 5)
+	cfg := testCoreConfig()
+	g, err := core.Fit(rng.New(3), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scramble the training runtimes: same schema, garbage signal.
+	r := rng.New(4)
+	scrambled := dataset.NewTable(train.App, train.ParamNames)
+	for _, run := range train.Runs {
+		run.Runtime = r.Uniform(0.5, 1.5)
+		scrambled.Runs = append(scrambled.Runs, run)
+	}
+	b, err := core.Fit(rng.New(5), scrambled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, b, hold
+}
+
+func TestGateBootstrapPromotesWithoutIncumbent(t *testing.T) {
+	good, _, hold := gateModels(t)
+	res := EvaluateGate(good, nil, hold, testLarge, DefaultGateConfig())
+	if !res.Promote {
+		t.Fatalf("bootstrap candidate rejected: %s", res.Reason)
+	}
+	if res.HoldoutConfigs == 0 || len(res.PerScale) == 0 {
+		t.Fatalf("no evidence recorded: %+v", res)
+	}
+	if math.IsNaN(res.Candidate) {
+		t.Fatal("candidate MAPE is NaN despite holdout data")
+	}
+}
+
+func TestGateRejectsWorseCandidate(t *testing.T) {
+	good, bad, hold := gateModels(t)
+	res := EvaluateGate(bad, good, hold, testLarge, DefaultGateConfig())
+	if res.Promote {
+		t.Fatalf("garbage candidate promoted over a real incumbent: cand %.4f inc %.4f",
+			res.Candidate, res.Incumbent)
+	}
+	if res.Candidate <= res.Incumbent {
+		t.Fatalf("fixture is broken: scrambled model (%.4f) beat the real one (%.4f)",
+			res.Candidate, res.Incumbent)
+	}
+	// Per-scale breakdown covers every target scale with data.
+	if len(res.PerScale) != len(testLarge) {
+		t.Fatalf("per-scale breakdown has %d entries, want %d", len(res.PerScale), len(testLarge))
+	}
+	for _, sm := range res.PerScale {
+		if sm.N == 0 {
+			t.Fatalf("scale %d has no holdout points", sm.Scale)
+		}
+	}
+}
+
+func TestGatePromotesEquallyGoodCandidateWithinSlack(t *testing.T) {
+	good, _, hold := gateModels(t)
+	// The incumbent evaluated against itself is exactly at the limit.
+	res := EvaluateGate(good, good, hold, testLarge, GateConfig{AllowedRegression: 0})
+	if !res.Promote {
+		t.Fatalf("identical candidate rejected at zero slack: %s", res.Reason)
+	}
+	// A strict-improvement gate (negative slack) rejects the tie.
+	res = EvaluateGate(good, good, hold, testLarge, GateConfig{AllowedRegression: -0.01})
+	if res.Promote {
+		t.Fatal("identical candidate promoted under strict-improvement gate")
+	}
+}
+
+func TestGateNoHoldoutData(t *testing.T) {
+	good, _, _ := gateModels(t)
+	empty := dataset.NewTable("smg2000", []string{"a", "b", "c", "d"})
+	if res := EvaluateGate(good, nil, empty, testLarge, DefaultGateConfig()); !res.Promote {
+		t.Fatalf("bootstrap with empty holdout rejected: %s", res.Reason)
+	}
+	if res := EvaluateGate(good, good, empty, testLarge, DefaultGateConfig()); res.Promote {
+		t.Fatal("candidate promoted over incumbent without any holdout evidence")
+	}
+}

@@ -1,0 +1,187 @@
+package pipeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal event kinds.
+const (
+	EventPromoted = "promoted"
+	EventRejected = "rejected"
+	EventRollback = "rollback"
+)
+
+// Entry is one audit record: what the pipeline did, to which app, at
+// which generation, and on what evidence. Time is stamped by the caller
+// at the cmd/ boundary (the pipeline itself never reads the clock), so
+// a journal written without timestamps is byte-deterministic.
+type Entry struct {
+	Gen    int    `json:"gen"`
+	App    string `json:"app"`
+	Event  string `json:"event"`
+	Reason string `json:"reason,omitempty"`
+
+	// Records is the store's record count for the app when the cycle ran;
+	// it doubles as persisted trigger state across restarts.
+	Records int `json:"records,omitempty"`
+
+	// TrainHash identifies the exact training set; ModelPath/ModelSHA the
+	// promoted artifact (base name, content hash). Incumbent is the
+	// generation the candidate was judged against (0 = none).
+	TrainHash string `json:"train_hash,omitempty"`
+	ModelPath string `json:"model_path,omitempty"`
+	ModelSHA  string `json:"model_sha,omitempty"`
+	Incumbent int    `json:"incumbent,omitempty"`
+
+	// Gate carries the verdict's evidence for promoted/rejected events.
+	Gate *GateResult `json:"gate,omitempty"`
+
+	// Time is an RFC 3339 timestamp stamped by the CLI boundary; empty in
+	// deterministic (test, replay) runs.
+	Time string `json:"time,omitempty"`
+}
+
+// Journal is the append-only audit log, one JSON object per line,
+// fsync'd per append. It owns the monotonic generation counter: every
+// training cycle consumes the next generation whether it promotes or
+// not, so generation numbers totally order all pipeline decisions.
+type Journal struct {
+	path string
+
+	mu      sync.Mutex
+	entries []Entry
+	maxGen  int
+}
+
+// OpenJournal opens (or creates) the journal at path and replays it.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{path: path}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return j, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("pipeline: journal %s line %d: %w", path, line, err)
+		}
+		j.entries = append(j.entries, e)
+		if e.Gen > j.maxGen {
+			j.maxGen = e.Gen
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: journal %s: %w", path, err)
+	}
+	return j, nil
+}
+
+// Append validates, persists (fsync), and records one entry. Entries
+// must not reuse a generation below the journal's high-water mark
+// except for rollbacks, which reference an older generation by design.
+func (j *Journal) Append(e Entry) error {
+	switch e.Event {
+	case EventPromoted, EventRejected, EventRollback:
+	default:
+		return fmt.Errorf("pipeline: journal entry with unknown event %q", e.Event)
+	}
+	if e.App == "" {
+		return fmt.Errorf("pipeline: journal entry without app")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if e.Event != EventRollback && e.Gen <= j.maxGen {
+		return fmt.Errorf("pipeline: journal entry reuses generation %d (max %d)", e.Gen, j.maxGen)
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if err := appendLine(j.path, line, !fileExists(j.path)); err != nil {
+		return err
+	}
+	j.entries = append(j.entries, e)
+	if e.Gen > j.maxGen {
+		j.maxGen = e.Gen
+	}
+	return nil
+}
+
+// fileExists reports whether path exists.
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// Entries returns a copy of the journal's entries in order.
+func (j *Journal) Entries() []Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Entry(nil), j.entries...)
+}
+
+// NextGen returns the next unused generation number (monotonic, shared
+// across apps so the journal totally orders decisions).
+func (j *Journal) NextGen() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.maxGen + 1
+}
+
+// Active returns app's currently active generation: the target of the
+// latest promoted or rollback event. ok is false when the app has never
+// promoted.
+func (j *Journal) Active(app string) (gen int, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := len(j.entries) - 1; i >= 0; i-- {
+		e := j.entries[i]
+		if e.App == app && (e.Event == EventPromoted || e.Event == EventRollback) {
+			return e.Gen, true
+		}
+	}
+	return 0, false
+}
+
+// PreviousPromoted returns the largest promoted generation for app that
+// is strictly below gen — the rollback target.
+func (j *Journal) PreviousPromoted(app string, gen int) (int, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	best, ok := 0, false
+	for _, e := range j.entries {
+		if e.App == app && e.Event == EventPromoted && e.Gen < gen && e.Gen > best {
+			best, ok = e.Gen, true
+		}
+	}
+	return best, ok
+}
+
+// lastRecords returns, per app, the store record count of its latest
+// entry carrying one — the persisted trigger baseline.
+func (j *Journal) lastRecords() map[string]int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := map[string]int{}
+	for _, e := range j.entries {
+		if e.Records > 0 {
+			out[e.App] = e.Records
+		}
+	}
+	return out
+}

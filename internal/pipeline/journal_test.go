@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestJournalAppendReplayAndGenerations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.NextGen(); got != 1 {
+		t.Fatalf("NextGen of empty journal = %d, want 1", got)
+	}
+	entries := []Entry{
+		{Gen: 1, App: "smg", Event: EventPromoted, Records: 10, ModelSHA: "aa"},
+		{Gen: 2, App: "smg", Event: EventRejected, Records: 20, Reason: "worse"},
+		{Gen: 3, App: "lulesh", Event: EventPromoted, Records: 5},
+		{Gen: 4, App: "smg", Event: EventPromoted, Records: 30},
+	}
+	for _, e := range entries {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.NextGen(); got != 5 {
+		t.Fatalf("NextGen = %d, want 5", got)
+	}
+	if gen, ok := j.Active("smg"); !ok || gen != 4 {
+		t.Fatalf("Active(smg) = %d, %v", gen, ok)
+	}
+	if gen, ok := j.PreviousPromoted("smg", 4); !ok || gen != 1 {
+		t.Fatalf("PreviousPromoted(smg, 4) = %d, %v; want 1", gen, ok)
+	}
+	if _, ok := j.PreviousPromoted("smg", 1); ok {
+		t.Fatal("PreviousPromoted below the first promotion succeeded")
+	}
+	if got := j.lastRecords(); got["smg"] != 30 || got["lulesh"] != 5 {
+		t.Fatalf("lastRecords = %v", got)
+	}
+
+	// Replay from disk reproduces everything.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(j2.Entries(), j.Entries()) {
+		t.Fatal("replayed journal differs")
+	}
+	if got := j2.NextGen(); got != 5 {
+		t.Fatalf("replayed NextGen = %d, want 5", got)
+	}
+
+	// A rollback references an older generation; Active follows it.
+	if err := j2.Append(Entry{Gen: 1, App: "smg", Event: EventRollback}); err != nil {
+		t.Fatal(err)
+	}
+	if gen, ok := j2.Active("smg"); !ok || gen != 1 {
+		t.Fatalf("Active after rollback = %d, %v; want 1", gen, ok)
+	}
+	// But non-rollback events must never reuse a generation.
+	if err := j2.Append(Entry{Gen: 3, App: "smg", Event: EventPromoted}); err == nil {
+		t.Fatal("generation reuse accepted")
+	}
+	if err := j2.Append(Entry{Gen: 6, App: "smg", Event: "renamed"}); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+	if err := j2.Append(Entry{Gen: 6, Event: EventPromoted}); err == nil {
+		t.Fatal("entry without app accepted")
+	}
+}

@@ -1,0 +1,305 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/serving"
+)
+
+const testApp = "smg2000"
+
+// testPipelineConfig is the shared pipeline configuration: retrain on
+// every new record, 25% holdout, generous promotion slack (the e2e test
+// exercises rejection separately, with a strict gate).
+func testPipelineConfig() Config {
+	return Config{
+		Core:          testCoreConfig(),
+		Seed:          42,
+		Gate:          GateConfig{HoldoutDenominator: 4, AllowedRegression: 1.0},
+		MinNewRecords: 1,
+	}
+}
+
+// doJSON drives one request through the serving handler.
+func doJSON(t *testing.T, h http.Handler, method, path string, body, out any) int {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec.Code
+}
+
+// predictOnce returns the served runtimes for one configuration.
+func predictOnce(t *testing.T, h http.Handler, params []float64) (runtimes []float64, version, generation int) {
+	t.Helper()
+	var resp struct {
+		Version int `json:"version"`
+		Results []struct {
+			Runtimes []float64 `json:"runtimes"`
+		} `json:"results"`
+	}
+	if code := doJSON(t, h, "POST", "/v1/predict",
+		map[string]any{"model": testApp, "params": params}, &resp); code != http.StatusOK {
+		t.Fatalf("predict returned %d", code)
+	}
+	var models struct {
+		Models []struct {
+			Name       string `json:"name"`
+			Generation int    `json:"generation"`
+		} `json:"models"`
+	}
+	if code := doJSON(t, h, "GET", "/v1/models", nil, &models); code != http.StatusOK {
+		t.Fatalf("models returned %d", code)
+	}
+	for _, m := range models.Models {
+		if m.Name == testApp {
+			generation = m.Generation
+		}
+	}
+	return resp.Results[0].Runtimes, resp.Version, generation
+}
+
+// TestPipelineEndToEnd walks the full loop: ingest records, trigger a
+// cycle, gate, promote into a live serving registry, observe the served
+// prediction change, reject a candidate behind a strict gate with the
+// incumbent left serving, and roll back to the previous generation —
+// all without restarting the server.
+func TestPipelineEndToEnd(t *testing.T) {
+	_, more := testHistories(t)
+	storeDir, gensDir := t.TempDir(), t.TempDir()
+	store := newSeededStore(t, storeDir)
+
+	reg := serving.NewRegistry()
+	srv := serving.New(reg, serving.DefaultOptions())
+	h := srv.Handler()
+
+	p, err := New(store, gensDir, testPipelineConfig(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- cycle 1: bootstrap promotion ----
+	res, err := p.RunOnce(testApp, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Promoted || res.Gen != 1 {
+		t.Fatalf("bootstrap cycle: %+v", res)
+	}
+	if _, err := os.Stat(res.Path); err != nil {
+		t.Fatalf("promoted model file missing: %v", err)
+	}
+	probe := more.Runs[0].Params
+	run1, v1, gen1 := predictOnce(t, h, probe)
+	if gen1 != 1 || v1 != 1 {
+		t.Fatalf("after bootstrap: version %d generation %d, want 1/1", v1, gen1)
+	}
+
+	// A second RunOnce without new records is a quiet skip.
+	if res, err := p.RunOnce(testApp, ""); err != nil || !res.Skipped {
+		t.Fatalf("no-new-records cycle: %+v, %v", res, err)
+	}
+
+	// ---- cycle 2: new records arrive, candidate promoted live ----
+	if _, _, err := store.ImportTable(more); err != nil {
+		t.Fatal(err)
+	}
+	// Serve predictions concurrently with the retrain+promote cycle; the
+	// registry hot-swap must never torn-read under -race. (t.Fatal is
+	// test-goroutine-only, so the workers report with t.Errorf.)
+	body, err := json.Marshal(map[string]any{"model": testApp, "params": probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("concurrent predict returned %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		}()
+	}
+	res, err = p.RunOnce(testApp, "")
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Promoted || res.Gen != 2 {
+		t.Fatalf("second cycle: %+v (gate: %s)", res, res.Gate.Reason)
+	}
+	run2, v2, gen2 := predictOnce(t, h, probe)
+	if gen2 != 2 || v2 != 2 {
+		t.Fatalf("after second promotion: version %d generation %d, want 2/2", v2, gen2)
+	}
+	if reflect.DeepEqual(run1, run2) {
+		t.Fatal("served prediction did not change after promotion")
+	}
+
+	// ---- cycle 3: strict gate rejects; incumbent keeps serving ----
+	strictCfg := testPipelineConfig()
+	strictCfg.Gate.AllowedRegression = -0.999 // demand a 1000x improvement
+	strict, err := New(store, gensDir, strictCfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same store, nothing new: the journal-primed trigger skips...
+	if res, err := strict.RunOnce(testApp, ""); err != nil || !res.Skipped {
+		t.Fatalf("reopened pipeline did not restore trigger state: %+v, %v", res, err)
+	}
+	// ...until kicked.
+	strict.Kick(testApp)
+	res, err = strict.RunOnce(testApp, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Promoted || res.Gen != 3 {
+		t.Fatalf("strict gate promoted: %+v", res)
+	}
+	entries := strict.Journal().Entries()
+	last := entries[len(entries)-1]
+	if last.Event != EventRejected || last.Gen != 3 || last.Gate == nil {
+		t.Fatalf("rejection not journaled with evidence: %+v", last)
+	}
+	run3, v3, gen3 := predictOnce(t, h, probe)
+	if v3 != v2 || gen3 != 2 || !reflect.DeepEqual(run2, run3) {
+		t.Fatal("rejected candidate disturbed the serving incumbent")
+	}
+	if _, err := os.Stat(strict.Promoter().ModelPath(testApp, 3)); !os.IsNotExist(err) {
+		t.Fatal("rejected candidate left a generation file behind")
+	}
+
+	// ---- rollback: one step back to generation 1, still live ----
+	gen, err := strict.Rollback(testApp, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("Rollback restored generation %d, want 1", gen)
+	}
+	runRb, vRb, genRb := predictOnce(t, h, probe)
+	if genRb != 1 {
+		t.Fatalf("generation after rollback = %d, want 1", genRb)
+	}
+	if vRb != v2+1 {
+		t.Fatalf("registry version after rollback = %d, want %d", vRb, v2+1)
+	}
+	if !reflect.DeepEqual(runRb, run1) {
+		t.Fatal("rollback did not restore generation 1's predictions")
+	}
+
+	// ---- metrics: the whole story is visible on /metrics ----
+	var snap serving.Snapshot
+	if code := doJSON(t, h, "GET", "/metrics", nil, &snap); code != http.StatusOK {
+		t.Fatalf("metrics returned %d", code)
+	}
+	if snap.Pipeline == nil {
+		t.Fatal("metrics has no pipeline section after promotions")
+	}
+	if snap.Pipeline.Promotions != 2 || snap.Pipeline.Rollbacks != 1 {
+		t.Fatalf("pipeline counters = %+v, want 2 promotions, 1 rollback", snap.Pipeline)
+	}
+	if lp := snap.Pipeline.LastPromotion; lp == nil || lp.Outcome != serving.PromotionRollback || lp.Generation != 1 {
+		t.Fatalf("last promotion = %+v, want rollback to generation 1", snap.Pipeline.LastPromotion)
+	}
+	found := false
+	for _, ms := range snap.ModelStatus {
+		if ms.Name == testApp && ms.Generation == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("model_status %+v does not show generation 1 serving", snap.ModelStatus)
+	}
+
+	// ---- restart path: a fresh registry resumes from the journal ----
+	reg2 := serving.NewRegistry()
+	p2, err := New(store, gensDir, testPipelineConfig(), reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.InstallActive(); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := reg2.Get(testApp)
+	if !ok || e.Generation != 1 {
+		t.Fatalf("restart installed %+v, want active generation 1", e)
+	}
+}
+
+// TestPipelineDeterminism asserts the whole pipeline is a pure function
+// of (store, seed): two runs over the same records produce byte-identical
+// generation files and journals.
+func TestPipelineDeterminism(t *testing.T) {
+	_, more := testHistories(t)
+	runPipeline := func(gensDir string) {
+		t.Helper()
+		store := newSeededStore(t, t.TempDir())
+		p, err := New(store, gensDir, testPipelineConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.RunOnce(testApp, ""); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := store.ImportTable(more); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.RunOnce(testApp, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	runPipeline(dirA)
+	runPipeline(dirB)
+
+	filesA, err := os.ReadDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filesA) < 2 {
+		t.Fatalf("pipeline produced %d files, want journal + at least one generation", len(filesA))
+	}
+	for _, f := range filesA {
+		a, err := os.ReadFile(filepath.Join(dirA, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, f.Name()))
+		if err != nil {
+			t.Fatalf("run B is missing %s: %v", f.Name(), err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs between identical pipeline runs", f.Name())
+		}
+	}
+}

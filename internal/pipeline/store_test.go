@@ -1,0 +1,234 @@
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestStoreAppendDedupAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []string{"nx", "ny"}
+	rec := Record{App: "smg2000", Params: []float64{8, 16}, Scale: 4, Runtime: 1.5}
+	if ok, err := s.Append(cols, rec); err != nil || !ok {
+		t.Fatalf("first Append = %v, %v", ok, err)
+	}
+	if ok, err := s.Append(cols, rec); err != nil || ok {
+		t.Fatalf("duplicate Append = %v, %v; want false, nil", ok, err)
+	}
+	// Same point, distinct repetition index: a legitimate repeat.
+	rep := rec
+	rep.Rep = 1
+	if ok, err := s.Append(cols, rep); err != nil || !ok {
+		t.Fatalf("repeat Append = %v, %v", ok, err)
+	}
+	if got := s.Count("smg2000"); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+
+	// Reopen: the on-disk partition must reproduce the index.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Count("smg2000"); got != 2 {
+		t.Fatalf("Count after reopen = %d, want 2", got)
+	}
+	if ok, err := s2.Append(cols, rec); err != nil || ok {
+		t.Fatalf("duplicate Append after reopen = %v, %v; want false, nil", ok, err)
+	}
+	names, ok := s2.ParamNames("smg2000")
+	if !ok || !reflect.DeepEqual(names, cols) {
+		t.Fatalf("ParamNames = %v, %v", names, ok)
+	}
+}
+
+// TestStoreRefreshSeesOutOfProcessAppends models `pipeline ingest`
+// feeding a live server: a second Store handle appends to the same
+// directory, and Refresh picks the new records (and new partitions) up
+// without reopening.
+func TestStoreRefreshSeesOutOfProcessAppends(t *testing.T) {
+	dir := t.TempDir()
+	server, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []string{"nx"}
+	ingest, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ingest.Append(cols, Record{App: "smg", Params: []float64{1}, Scale: 2, Runtime: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := server.Count("smg"); got != 0 {
+		t.Fatalf("Count before Refresh = %d, want 0 (index is a snapshot)", got)
+	}
+	if err := server.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := server.Count("smg"); got != 1 {
+		t.Fatalf("Count after Refresh = %d, want 1", got)
+	}
+	// Refresh keeps dedup state consistent with the file.
+	if ok, err := server.Append(cols, Record{App: "smg", Params: []float64{1}, Scale: 2, Runtime: 3}); err != nil || ok {
+		t.Fatalf("duplicate Append after Refresh = %v, %v; want false, nil", ok, err)
+	}
+	// New records from both handles interleave without loss.
+	if _, err := ingest.Append(cols, Record{App: "smg", Params: []float64{2}, Scale: 2, Runtime: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := server.Count("smg"); got != 2 {
+		t.Fatalf("Count after second Refresh = %d, want 2", got)
+	}
+}
+
+func TestStoreRejectsMismatchedWidthAndBadNames(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]string{"a"}, Record{App: "x", Params: []float64{1}, Scale: 2, Runtime: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(nil, Record{App: "x", Params: []float64{1, 2}, Scale: 2, Runtime: 1}); err == nil {
+		t.Fatal("mismatched parameter width accepted")
+	}
+	for _, bad := range []string{"", "a/b", "..", ".hidden", "a b"} {
+		if _, err := s.Append([]string{"a"}, Record{App: bad, Params: []float64{1}, Scale: 2, Runtime: 1}); err == nil {
+			t.Fatalf("app name %q accepted", bad)
+		}
+	}
+}
+
+func TestStoreImportTableRoundtrip(t *testing.T) {
+	hist, _ := testHistories(t)
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, skipped, err := s.ImportTable(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != hist.Len() || skipped != 0 {
+		t.Fatalf("first import: added %d skipped %d, want %d/0", added, skipped, hist.Len())
+	}
+	// Idempotent re-import.
+	added, skipped, err = s.ImportTable(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || skipped != hist.Len() {
+		t.Fatalf("re-import: added %d skipped %d, want 0/%d", added, skipped, hist.Len())
+	}
+	got, ok := s.Table(hist.App)
+	if !ok {
+		t.Fatal("Table missing after import")
+	}
+	if !reflect.DeepEqual(got.Runs, hist.Runs) {
+		t.Fatal("materialized table differs from imported history")
+	}
+	if apps := s.Apps(); len(apps) != 1 || apps[0] != hist.App {
+		t.Fatalf("Apps = %v", apps)
+	}
+}
+
+func TestStoreImportCSV(t *testing.T) {
+	hist, _ := testHistories(t)
+	csvPath := filepath.Join(t.TempDir(), "hist.csv")
+	if err := hist.SaveCSV(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, _, err := s.ImportCSV(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != hist.Len() {
+		t.Fatalf("ImportCSV added %d, want %d", added, hist.Len())
+	}
+
+	// A CSV without an application name cannot be partitioned.
+	anon := dataset.NewTable("", hist.ParamNames)
+	anon.Runs = hist.Runs[:1]
+	anonPath := filepath.Join(t.TempDir(), "anon.csv")
+	if err := anon.SaveCSV(anonPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ImportCSV(anonPath); err == nil {
+		t.Fatal("CSV without app name accepted")
+	}
+}
+
+func TestStoreCompactDropsDuplicateLines(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{App: "x", Params: []float64{1}, Scale: 2, Runtime: 3}
+	if _, err := s.Append([]string{"a"}, rec); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash-retry double append by duplicating the record line
+	// on disk behind the store's back.
+	path := filepath.Join(dir, "x.jsonl")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(raw), "\n"), "\n")
+	dup := lines[len(lines)-1]
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(dup + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen tolerates the duplicate; Compact rewrites without it.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Count("x"); got != 1 {
+		t.Fatalf("Count with duplicate line = %d, want 1", got)
+	}
+	if err := s2.Compact("x"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(after), "\n"); lines != 2 { // header + one record
+		t.Fatalf("compacted file has %d lines, want 2", lines)
+	}
+	s3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.Count("x"); got != 1 {
+		t.Fatalf("Count after compact = %d, want 1", got)
+	}
+}

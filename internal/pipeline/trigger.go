@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Trigger is the retrain policy: an application is due for a training
+// cycle when at least minNew records arrived since its last handled
+// cycle, or when it was explicitly kicked. The trigger only bookkeeps —
+// the pipeline asks Due, runs the cycle, and acknowledges with Mark —
+// so a rejected candidate still consumes its trigger (no retrain storm
+// over unchanged data; Kick forces a rerun).
+type Trigger struct {
+	minNew int
+
+	mu     sync.Mutex
+	kicked map[string]bool
+	seen   map[string]int // store record count at the last handled cycle
+}
+
+// NewTrigger builds a trigger firing after minNew new records (>= 1).
+func NewTrigger(minNew int) *Trigger {
+	if minNew < 1 {
+		minNew = 1
+	}
+	return &Trigger{minNew: minNew, kicked: map[string]bool{}, seen: map[string]int{}}
+}
+
+// Prime seeds the last-handled record count for app, used to rebuild
+// state from the journal when a pipeline reopens.
+func (t *Trigger) Prime(app string, count int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if count > t.seen[app] {
+		t.seen[app] = count
+	}
+}
+
+// Kick forces the next Due check for app to fire.
+func (t *Trigger) Kick(app string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.kicked[app] = true
+}
+
+// Due reports whether app should retrain given its current record
+// count, with a human-readable reason either way.
+func (t *Trigger) Due(app string, count int) (bool, string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.kicked[app] {
+		return true, "kicked"
+	}
+	fresh := count - t.seen[app]
+	if fresh >= t.minNew {
+		return true, fmt.Sprintf("%d new records (threshold %d)", fresh, t.minNew)
+	}
+	return false, fmt.Sprintf("%d of %d new records", fresh, t.minNew)
+}
+
+// Mark acknowledges a handled cycle: the kick (if any) is consumed and
+// the record count becomes the new baseline.
+func (t *Trigger) Mark(app string, count int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.kicked, app)
+	if count > t.seen[app] {
+		t.seen[app] = count
+	}
+}

@@ -1,0 +1,53 @@
+package pipeline
+
+import "testing"
+
+func TestTriggerCountPolicy(t *testing.T) {
+	tr := NewTrigger(10)
+	if due, _ := tr.Due("smg", 9); due {
+		t.Fatal("due below threshold")
+	}
+	if due, why := tr.Due("smg", 10); !due {
+		t.Fatalf("not due at threshold: %s", why)
+	}
+	tr.Mark("smg", 10)
+	if due, _ := tr.Due("smg", 15); due {
+		t.Fatal("due with only 5 fresh records after Mark")
+	}
+	if due, _ := tr.Due("smg", 20); !due {
+		t.Fatal("not due with 10 fresh records after Mark")
+	}
+}
+
+func TestTriggerKickForcesAndIsConsumed(t *testing.T) {
+	tr := NewTrigger(1000)
+	tr.Kick("smg")
+	if due, why := tr.Due("smg", 0); !due || why != "kicked" {
+		t.Fatalf("kick not honored: %v %q", due, why)
+	}
+	tr.Mark("smg", 0)
+	if due, _ := tr.Due("smg", 0); due {
+		t.Fatal("kick survived Mark")
+	}
+	// Kicking one app must not trigger another.
+	tr.Kick("smg")
+	if due, _ := tr.Due("lulesh", 0); due {
+		t.Fatal("kick leaked across apps")
+	}
+}
+
+func TestTriggerPrimeRestoresBaseline(t *testing.T) {
+	tr := NewTrigger(10)
+	tr.Prime("smg", 100)
+	if due, _ := tr.Due("smg", 105); due {
+		t.Fatal("primed trigger fired below threshold")
+	}
+	if due, _ := tr.Due("smg", 110); !due {
+		t.Fatal("primed trigger did not fire at threshold")
+	}
+	// Prime never moves the baseline backwards.
+	tr.Prime("smg", 50)
+	if due, _ := tr.Due("smg", 105); due {
+		t.Fatal("stale Prime lowered the baseline")
+	}
+}

@@ -114,6 +114,7 @@ type PredictResponse struct {
 type ModelInfo struct {
 	Name         string    `json:"name"`
 	Version      int       `json:"version"`
+	Generation   int       `json:"generation,omitempty"`
 	Path         string    `json:"path,omitempty"`
 	SHA256       string    `json:"sha256,omitempty"`
 	LoadedAt     time.Time `json:"loaded_at"`
@@ -131,6 +132,7 @@ func modelInfo(e *Entry) ModelInfo {
 	return ModelInfo{
 		Name:         e.Name,
 		Version:      e.Version,
+		Generation:   e.Generation,
 		Path:         e.Path,
 		SHA256:       e.SHA256,
 		LoadedAt:     e.LoadedAt,

@@ -116,6 +116,23 @@ type EndpointSnapshot struct {
 	Latency  HistogramSnapshot `json:"latency"`
 }
 
+// ModelStatus is one model's identity line in the metrics document:
+// enough for an operator to see which pipeline generation is serving.
+type ModelStatus struct {
+	Name       string `json:"name"`
+	Version    int    `json:"version"`
+	Generation int    `json:"generation,omitempty"`
+}
+
+// PipelineSnapshot summarizes training-pipeline activity as observed
+// through the registry's promotion hook and reloads.
+type PipelineSnapshot struct {
+	Promotions    int64            `json:"promotions"`
+	Rejections    int64            `json:"rejections"`
+	Rollbacks     int64            `json:"rollbacks"`
+	LastPromotion *PromotionStatus `json:"last_promotion,omitempty"`
+}
+
 // Snapshot is the JSON document served on /metrics.
 type Snapshot struct {
 	UptimeSeconds    float64                     `json:"uptime_seconds"`
@@ -125,6 +142,9 @@ type Snapshot struct {
 	PanicsTotal      int64                       `json:"panics_total"`
 	ReloadsTotal     int64                       `json:"reloads_total"`
 	Models           int                         `json:"models"`
+	ModelStatus      []ModelStatus               `json:"model_status,omitempty"`
+	LastReload       *ReloadStatus               `json:"last_reload,omitempty"`
+	Pipeline         *PipelineSnapshot           `json:"pipeline,omitempty"`
 	Cache            CacheStats                  `json:"cache"`
 	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
 }
@@ -153,6 +173,19 @@ func (m *Metrics) Snapshot(cache *Cache, reg *Registry) Snapshot {
 	if reg != nil {
 		s.ReloadsTotal = reg.Reloads()
 		s.Models = reg.Len()
+		s.LastReload = reg.LastReload()
+		for _, e := range reg.List() {
+			s.ModelStatus = append(s.ModelStatus, ModelStatus{
+				Name: e.Name, Version: e.Version, Generation: e.Generation,
+			})
+		}
+		promoted, rejected, rollbacks := reg.PromotionCounts()
+		if last := reg.LastPromotion(); last != nil || promoted+rejected+rollbacks > 0 {
+			s.Pipeline = &PipelineSnapshot{
+				Promotions: promoted, Rejections: rejected, Rollbacks: rollbacks,
+				LastPromotion: last,
+			}
+		}
 	}
 	return s
 }

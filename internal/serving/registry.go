@@ -42,6 +42,10 @@ type Entry struct {
 	SHA256   string // content hash of the model file ("" when in-process)
 	LoadedAt time.Time
 	Model    *core.TwoLevelModel
+
+	// Generation is the training pipeline's generation counter carried in
+	// the model's metadata; 0 for models trained outside the pipeline.
+	Generation int
 }
 
 // snapshot is the immutable view readers dereference with one atomic load.
@@ -58,6 +62,37 @@ type Registry struct {
 	sources []Source
 	snap    atomic.Pointer[snapshot]
 	reloads atomic.Int64
+
+	// Pipeline observability: outcome of the latest Reload, the latest
+	// promotion-hook event, and lifetime counters per outcome, all
+	// exported on /metrics so a stuck pipeline is visible to operators.
+	lastReload    atomic.Pointer[ReloadStatus]
+	lastPromotion atomic.Pointer[PromotionStatus]
+	promotions    atomic.Int64
+	rejections    atomic.Int64
+	rollbacks     atomic.Int64
+}
+
+// ReloadStatus is the outcome of the most recent Reload.
+type ReloadStatus struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// Promotion outcomes reported through NotePromotion.
+const (
+	PromotionPromoted = "promoted"
+	PromotionRejected = "rejected"
+	PromotionRollback = "rollback"
+)
+
+// PromotionStatus is one training-pipeline event as seen by the
+// serving layer.
+type PromotionStatus struct {
+	App        string `json:"app"`
+	Generation int    `json:"generation"`
+	Outcome    string `json:"outcome"` // promoted | rejected | rollback
+	Detail     string `json:"detail,omitempty"`
 }
 
 // NewRegistry creates an empty registry over the given disk sources.
@@ -90,7 +125,10 @@ func (r *Registry) Reload() error {
 			if prev != nil {
 				next[src.Name] = prev
 			}
-			errs = append(errs, fmt.Errorf("model %q: %w", src.Name, err))
+			// Name the model AND the failing path: loadEntry errors from the
+			// decoder do not carry the file, and an operator chasing a stuck
+			// pipeline needs to know which artifact to inspect.
+			errs = append(errs, fmt.Errorf("model %q (%s): %w", src.Name, src.Path, err))
 			continue
 		}
 		next[src.Name] = e
@@ -102,7 +140,13 @@ func (r *Registry) Reload() error {
 	}
 	r.snap.Store(&snapshot{entries: next})
 	r.reloads.Add(1)
-	return errors.Join(errs...)
+	err := errors.Join(errs...)
+	st := &ReloadStatus{OK: err == nil}
+	if err != nil {
+		st.Error = err.Error()
+	}
+	r.lastReload.Store(st)
+	return err
 }
 
 // loadEntry reads and validates one source, reusing prev when the file
@@ -125,12 +169,13 @@ func loadEntry(src Source, prev *Entry) (*Entry, error) {
 		version = prev.Version + 1
 	}
 	return &Entry{
-		Name:     src.Name,
-		Version:  version,
-		Path:     src.Path,
-		SHA256:   sum,
-		LoadedAt: time.Now(),
-		Model:    m,
+		Name:       src.Name,
+		Version:    version,
+		Path:       src.Path,
+		SHA256:     sum,
+		LoadedAt:   time.Now(),
+		Model:      m,
+		Generation: m.Meta.Generation,
 	}, nil
 }
 
@@ -144,7 +189,7 @@ func (r *Registry) Install(name string, m *core.TwoLevelModel) *Entry {
 	if prev, ok := old[name]; ok {
 		version = prev.Version + 1
 	}
-	e := &Entry{Name: name, Version: version, LoadedAt: time.Now(), Model: m}
+	e := &Entry{Name: name, Version: version, LoadedAt: time.Now(), Model: m, Generation: m.Meta.Generation}
 	next := maps.Clone(old)
 	next[name] = e
 	r.snap.Store(&snapshot{entries: next})
@@ -191,3 +236,30 @@ func (r *Registry) Len() int { return len(r.snap.Load().entries) }
 
 // Reloads returns how many times Reload has completed.
 func (r *Registry) Reloads() int64 { return r.reloads.Load() }
+
+// LastReload returns the most recent Reload outcome, or nil before the
+// first Reload.
+func (r *Registry) LastReload() *ReloadStatus { return r.lastReload.Load() }
+
+// NotePromotion records a training-pipeline event (the promotion hook
+// called by internal/pipeline) for /metrics.
+func (r *Registry) NotePromotion(st PromotionStatus) {
+	switch st.Outcome {
+	case PromotionPromoted:
+		r.promotions.Add(1)
+	case PromotionRejected:
+		r.rejections.Add(1)
+	case PromotionRollback:
+		r.rollbacks.Add(1)
+	}
+	r.lastPromotion.Store(&st)
+}
+
+// LastPromotion returns the most recent pipeline event, or nil when the
+// promotion hook has never fired.
+func (r *Registry) LastPromotion() *PromotionStatus { return r.lastPromotion.Load() }
+
+// PromotionCounts returns lifetime pipeline-event counters.
+func (r *Registry) PromotionCounts() (promoted, rejected, rollbacks int64) {
+	return r.promotions.Load(), r.rejections.Load(), r.rollbacks.Load()
+}

@@ -106,9 +106,64 @@ func TestRegistryReloadFailureKeepsServing(t *testing.T) {
 	if !strings.Contains(err.Error(), "default") {
 		t.Fatalf("error %q does not name the failing model", err)
 	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error %q does not carry the failing path", err)
+	}
 	e2, ok := reg.Get("")
 	if !ok || e2 != e1 {
 		t.Fatal("corrupt reload evicted the serving entry")
+	}
+	// The failure is observable after the fact.
+	lr := reg.LastReload()
+	if lr == nil || lr.OK || !strings.Contains(lr.Error, path) {
+		t.Fatalf("LastReload() = %+v, want failed status naming %s", lr, path)
+	}
+	if err := m2Save(t, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if lr := reg.LastReload(); lr == nil || !lr.OK || lr.Error != "" {
+		t.Fatalf("LastReload() after recovery = %+v, want OK", lr)
+	}
+}
+
+// m2Save writes a fresh valid model fixture over path.
+func m2Save(t *testing.T, path string) error {
+	t.Helper()
+	m, _ := testModel(t)
+	return m.Save(path)
+}
+
+func TestRegistryPromotionObservability(t *testing.T) {
+	m, _ := testModel(t)
+	m.Meta.Generation = 7
+	reg := NewRegistry()
+	e := reg.Install("smg", m)
+	if e.Generation != 7 {
+		t.Fatalf("installed Generation = %d, want 7 from model metadata", e.Generation)
+	}
+	reg.NotePromotion(PromotionStatus{App: "smg", Generation: 7, Outcome: PromotionPromoted})
+	reg.NotePromotion(PromotionStatus{App: "smg", Generation: 8, Outcome: PromotionRejected, Detail: "worse"})
+	reg.NotePromotion(PromotionStatus{App: "smg", Generation: 7, Outcome: PromotionRollback})
+	p, r, rb := reg.PromotionCounts()
+	if p != 1 || r != 1 || rb != 1 {
+		t.Fatalf("PromotionCounts() = %d, %d, %d", p, r, rb)
+	}
+	lp := reg.LastPromotion()
+	if lp == nil || lp.Outcome != PromotionRollback || lp.Generation != 7 {
+		t.Fatalf("LastPromotion() = %+v", lp)
+	}
+
+	// The whole story surfaces on the metrics snapshot.
+	snap := NewMetrics().Snapshot(nil, reg)
+	if len(snap.ModelStatus) != 1 || snap.ModelStatus[0].Generation != 7 {
+		t.Fatalf("ModelStatus = %+v, want generation 7", snap.ModelStatus)
+	}
+	if snap.Pipeline == nil || snap.Pipeline.Promotions != 1 || snap.Pipeline.Rejections != 1 ||
+		snap.Pipeline.Rollbacks != 1 || snap.Pipeline.LastPromotion == nil {
+		t.Fatalf("Pipeline snapshot = %+v", snap.Pipeline)
 	}
 }
 
