@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint test race bench bench-paper bench-serving clean
+.PHONY: verify build vet lint test race bench bench-hotpath bench-check bench-paper bench-serving clean
 
 verify: build vet lint race
 
@@ -25,16 +25,43 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Hot-path benchmark baseline (forest fit, serve predict, pipeline
+# End-to-end benchmark baseline (forest fit, serve predict, pipeline
 # retrain+promote, store ingest), committed as BENCH_pipeline.json via
-# cmd/benchjson so regressions show up in review diffs. -benchtime=1x
-# keeps it cheap enough for CI smoke; raise it locally for stable numbers.
+# cmd/benchjson so regressions show up in review diffs. -benchtime=10x
+# keeps single-digit-µs paths out of one-iteration noise while staying
+# cheap enough for CI smoke.
 bench:
-	$(GO) test -run='^$$' -benchmem -benchtime=1x \
+	$(GO) test -run='^$$' -benchmem -benchtime=10x \
 		-bench='^(BenchmarkFit500x6x50Trees|BenchmarkServePredict|BenchmarkPipelineRetrainPromote|BenchmarkStoreAppend)$$' \
 		./internal/forest/ ./internal/serving/ ./internal/pipeline/ > bench.out
 	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_pipeline.json
 	@rm -f bench.out
+
+# Kernel-level baseline (single-tree fit, forest batch inference),
+# committed as BENCH_hotpath.json. Regenerate with the same command when
+# a PR intentionally changes kernel performance.
+bench-hotpath:
+	$(GO) test -run='^$$' -benchmem -benchtime=3x \
+		-bench='^(BenchmarkTreeFit|BenchmarkForestPredictBatch)$$' \
+		./internal/tree/ ./internal/forest/ > bench-hotpath.out
+	$(GO) run ./cmd/benchjson -in bench-hotpath.out -out BENCH_hotpath.json
+	@rm -f bench-hotpath.out
+
+# CI smoke: re-run both benchmark suites and fail on a >2x ns/op or
+# allocs/op regression against the committed baselines. The generous
+# tolerance absorbs shared-runner noise while still catching real
+# regressions (the presort rewrite was a 3x+ move). Never rewrites the
+# committed BENCH_*.json files.
+bench-check:
+	$(GO) test -run='^$$' -benchmem -benchtime=10x \
+		-bench='^(BenchmarkFit500x6x50Trees|BenchmarkServePredict|BenchmarkPipelineRetrainPromote|BenchmarkStoreAppend)$$' \
+		./internal/forest/ ./internal/serving/ ./internal/pipeline/ > bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -compare BENCH_pipeline.json -tolerance 2.0
+	$(GO) test -run='^$$' -benchmem -benchtime=3x \
+		-bench='^(BenchmarkTreeFit|BenchmarkForestPredictBatch)$$' \
+		./internal/tree/ ./internal/forest/ > bench-hotpath.out
+	$(GO) run ./cmd/benchjson -in bench-hotpath.out -compare BENCH_hotpath.json -tolerance 2.0
+	@rm -f bench.out bench-hotpath.out
 
 # Reduced-size reconstruction of every table/figure plus the core
 # micro-benchmarks; see bench_test.go.

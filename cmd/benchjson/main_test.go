@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	res, ok, err := parseLine("BenchmarkStoreAppend-8   1234   98765 ns/op   432 B/op   7 allocs/op")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	want := Result{Name: "BenchmarkStoreAppend", Iterations: 1234, NsPerOp: 98765, BytesPerOp: 432, AllocsPerOp: 7}
+	if res != want {
+		t.Fatalf("got %+v, want %+v", res, want)
+	}
+	for _, line := range []string{
+		"PASS",
+		"ok  \trepro/internal/forest\t0.2s",
+		"goos: linux",
+		"BenchmarkWeird SKIP",
+	} {
+		if _, ok, err := parseLine(line); ok || err != nil {
+			t.Fatalf("line %q: ok=%v err=%v, want ignored", line, ok, err)
+		}
+	}
+}
+
+func TestParseBenchSubBenchmarks(t *testing.T) {
+	out, err := parseBench(strings.NewReader(
+		"BenchmarkServePredict/hit-4  \t 100\t 9000 ns/op\t 1288 B/op\t 16 allocs/op\n" +
+			"BenchmarkServePredict/miss  \t 100\t 90000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Name != "BenchmarkServePredict/hit" || out[1].Name != "BenchmarkServePredict/miss" {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	baseline := Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100000, AllocsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 50000, AllocsPerOp: 10},
+		{Name: "BenchmarkGone", NsPerOp: 1, AllocsPerOp: 1},
+	}}
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		cur := []Result{
+			{Name: "BenchmarkA", NsPerOp: 180000, AllocsPerOp: 150},
+			{Name: "BenchmarkB", NsPerOp: 60000, AllocsPerOp: 12},
+		}
+		lines, failed := compareReports(baseline, cur, 2.0)
+		if failed {
+			t.Fatalf("unexpected failure:\n%s", strings.Join(lines, "\n"))
+		}
+	})
+
+	t.Run("ns regression fails", func(t *testing.T) {
+		cur := []Result{{Name: "BenchmarkA", NsPerOp: 250000, AllocsPerOp: 100}}
+		if _, failed := compareReports(baseline, cur, 2.0); !failed {
+			t.Fatal("2.5x ns/op regression not flagged")
+		}
+	})
+
+	t.Run("alloc regression fails", func(t *testing.T) {
+		cur := []Result{{Name: "BenchmarkA", NsPerOp: 100000, AllocsPerOp: 300}}
+		if _, failed := compareReports(baseline, cur, 2.0); !failed {
+			t.Fatal("3x allocs/op regression not flagged")
+		}
+	})
+
+	t.Run("absolute slack absorbs tiny noise", func(t *testing.T) {
+		// 10x over a 1ns/1alloc baseline is noise, not a regression.
+		cur := []Result{{Name: "BenchmarkGone", NsPerOp: 10, AllocsPerOp: 10}}
+		if lines, failed := compareReports(baseline, cur, 2.0); failed {
+			t.Fatalf("tiny-baseline noise flagged:\n%s", strings.Join(lines, "\n"))
+		}
+	})
+
+	t.Run("new and missing benchmarks never fail", func(t *testing.T) {
+		cur := []Result{{Name: "BenchmarkNew", NsPerOp: 1e9, AllocsPerOp: 1 << 20}}
+		lines, failed := compareReports(baseline, cur, 2.0)
+		if failed {
+			t.Fatal("benchmark absent from baseline must not fail the run")
+		}
+		joined := strings.Join(lines, "\n")
+		if !strings.Contains(joined, "new") || !strings.Contains(joined, "skip") {
+			t.Fatalf("expected new/skip notes, got:\n%s", joined)
+		}
+	})
+}

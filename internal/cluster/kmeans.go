@@ -296,7 +296,25 @@ func NormalizeCurves(curves *mat.Dense) *mat.Dense {
 
 // NormalizeCurve applies the NormalizeCurves transform to one curve.
 func NormalizeCurve(curve []float64) []float64 {
-	m := mat.NewDense(1, len(curve))
-	copy(m.Row(0), curve)
-	return NormalizeCurves(m).Row(0)
+	return NormalizeCurveInto(curve, make([]float64, len(curve)))
+}
+
+// NormalizeCurveInto applies the NormalizeCurves transform to one curve,
+// writing the shape into dst (same length) and returning it. dst may
+// alias curve. The call performs no allocations.
+func NormalizeCurveInto(curve, dst []float64) []float64 {
+	if len(dst) != len(curve) {
+		panic(fmt.Sprintf("cluster: normalize %d-point curve into %d-point dst", len(curve), len(dst)))
+	}
+	base := curve[0]
+	if base <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive runtime %v in curve 0", base))
+	}
+	for j, v := range curve {
+		if v <= 0 {
+			panic(fmt.Sprintf("cluster: non-positive runtime %v in curve 0", v))
+		}
+		dst[j] = math.Log2(v / base)
+	}
+	return dst
 }

@@ -91,27 +91,38 @@ func fitAnchoredCluster(r *rng.Source, fx, fy *mat.Dense, cfg Config) (ClusterMo
 
 // predictAnchored evaluates cluster c's anchored model on a small-scale
 // curve, returning runtimes at every target scale.
-func (m *TwoLevelModel) predictAnchored(c int, curve []float64) []float64 {
+func (m *TwoLevelModel) predictAnchoredInto(c int, curve, dst []float64) []float64 {
 	features := curve
 	if m.Cfg.LogTransform {
-		features = logVec(curve)
+		var buf [curveBufSize]float64
+		f := buf[:]
+		if len(curve) <= curveBufSize {
+			f = buf[:len(curve)]
+		} else {
+			f = make([]float64, len(curve))
+		}
+		for i, v := range curve {
+			if v <= 0 {
+				v = 1e-12
+			}
+			f[i] = math.Log(v)
+		}
+		features = f
 	}
 	cm := &m.ClusterModels[c]
-	var pred []float64
 	if cm.Multi != nil {
-		pred = cm.Multi.Predict(features)
+		cm.Multi.PredictInto(features, dst)
 	} else {
-		pred = make([]float64, len(cm.Single))
 		for i, mdl := range cm.Single {
-			pred[i] = mdl.Predict(features)
+			dst[i] = mdl.Predict(features)
 		}
 	}
 	if m.Cfg.LogTransform {
-		for i, v := range pred {
-			pred[i] = math.Exp(v)
+		for i, v := range dst {
+			dst[i] = math.Exp(v)
 		}
 	}
-	return pred
+	return dst
 }
 
 // logInPlace replaces every entry of x with its natural log, clamping

@@ -265,43 +265,82 @@ func gatherRows(x *mat.Dense, idx []int) *mat.Dense {
 
 // ---- prediction ----
 
+// curveBufSize is the stack-buffer size for per-prediction scale curves.
+// Scale lists in every experiment and deployment are a handful of
+// entries; curves at most this long never touch the heap on the serving
+// hot path.
+const curveBufSize = 16
+
 // PredictSmall returns the interpolation level's runtime predictions at
 // every small scale for a configuration.
 func (m *TwoLevelModel) PredictSmall(params []float64) []float64 {
-	out := make([]float64, len(m.Interp))
+	return m.PredictSmallInto(params, make([]float64, len(m.Interp)))
+}
+
+// PredictSmallInto writes the interpolation level's runtime predictions
+// at every small scale into dst (length len(Cfg.SmallScales)) and
+// returns it. The call performs no allocations.
+func (m *TwoLevelModel) PredictSmallInto(params, dst []float64) []float64 {
+	if len(dst) != len(m.Interp) {
+		panic(fmt.Sprintf("core: PredictSmallInto dst has %d entries, model has %d small scales", len(dst), len(m.Interp)))
+	}
 	for i, f := range m.Interp {
 		v := f.Predict(params)
 		if m.Cfg.LogInterpolation {
 			v = math.Exp(v)
 		}
-		out[i] = v
+		dst[i] = v
 	}
-	return out
+	return dst
 }
 
 // Predict returns predicted runtimes at every target scale (aligned with
 // Cfg.LargeScales) for a configuration never executed at any scale.
 func (m *TwoLevelModel) Predict(params []float64) []float64 {
-	return m.PredictFromCurve(m.PredictSmall(params))
+	return m.PredictInto(params, make([]float64, len(m.Cfg.LargeScales)))
+}
+
+// PredictInto is Predict writing into dst (length len(Cfg.LargeScales)).
+// In ModeAnchored with scale lists of at most curveBufSize entries the
+// call performs no allocations.
+func (m *TwoLevelModel) PredictInto(params, dst []float64) []float64 {
+	var buf [curveBufSize]float64
+	curve := buf[:]
+	if len(m.Interp) <= curveBufSize {
+		curve = buf[:len(m.Interp)]
+	} else {
+		curve = make([]float64, len(m.Interp))
+	}
+	m.PredictSmallInto(params, curve)
+	return m.PredictFromCurveInto(curve, dst)
 }
 
 // PredictFromCurve extrapolates from an explicit small-scale runtime
 // curve (e.g. actual measurements, for the oracle-input ablation or for
 // users who have already run the small scales) to every target scale.
 func (m *TwoLevelModel) PredictFromCurve(curve []float64) []float64 {
+	return m.PredictFromCurveInto(curve, make([]float64, len(m.Cfg.LargeScales)))
+}
+
+// PredictFromCurveInto is PredictFromCurve writing into dst (length
+// len(Cfg.LargeScales)). ModeAnchored predictions are allocation-free;
+// ModeBasis refits a small scalability model per call and allocates.
+func (m *TwoLevelModel) PredictFromCurveInto(curve, dst []float64) []float64 {
 	k := len(m.Cfg.SmallScales)
 	if len(curve) != k {
 		panic(fmt.Sprintf("core: curve has %d points, model expects %d", len(curve), k))
 	}
+	if len(dst) != len(m.Cfg.LargeScales) {
+		panic(fmt.Sprintf("core: PredictFromCurveInto dst has %d entries, model has %d target scales", len(dst), len(m.Cfg.LargeScales)))
+	}
 	c := m.assign(curve)
 	if m.Cfg.Mode == ModeAnchored {
-		return m.predictAnchored(c, curve)
+		return m.predictAnchoredInto(c, curve, dst)
 	}
-	out := make([]float64, len(m.Cfg.LargeScales))
 	for i, s := range m.Cfg.LargeScales {
-		out[i] = m.predictBasisAt(c, curve, s)
+		dst[i] = m.predictBasisAt(c, curve, s)
 	}
-	return out
+	return dst
 }
 
 // PredictAt predicts the runtime at one scale. In ModeAnchored the scale
@@ -332,20 +371,25 @@ func (m *TwoLevelModel) assign(curve []float64) int {
 	if m.Centroids == nil || m.Centroids.Rows == 1 {
 		return 0
 	}
-	shape := cluster.NormalizeCurve(positive(curve))
+	// Clamp non-positive entries so shape normalization is defined, then
+	// normalize in place — a stack buffer keeps the hot path
+	// allocation-free for realistic curve lengths.
+	var buf [curveBufSize]float64
+	shape := buf[:]
+	if len(curve) <= curveBufSize {
+		shape = buf[:len(curve)]
+	} else {
+		shape = make([]float64, len(curve))
+	}
+	for i, v := range curve {
+		if v <= 0 {
+			v = 1e-12
+		}
+		shape[i] = v
+	}
+	cluster.NormalizeCurveInto(shape, shape)
 	res := cluster.Result{Centroids: m.Centroids}
 	return res.Assign(shape)
-}
-
-// positive clamps non-positive entries so shape normalization is defined.
-func positive(curve []float64) []float64 {
-	out := append([]float64(nil), curve...)
-	for i, v := range out {
-		if v <= 0 {
-			out[i] = 1e-12
-		}
-	}
-	return out
 }
 
 // Clusters returns the number of scaling-behaviour clusters in the model.

@@ -257,3 +257,62 @@ func BenchmarkPredict(b *testing.B) {
 		f.Predict(v)
 	}
 }
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	r := rng.New(11)
+	x, y := friedman(r, 300)
+	p := Defaults()
+	p.Trees = 30
+	f := Fit(x, y, p, r)
+	got := f.PredictBatch(x, make([]float64, x.Rows))
+	for i := 0; i < x.Rows; i++ {
+		if got[i] != f.Predict(x.Row(i)) {
+			t.Fatalf("row %d: PredictBatch %v != Predict %v", i, got[i], f.Predict(x.Row(i)))
+		}
+	}
+}
+
+func TestPredictBatchParallelMatchesSerial(t *testing.T) {
+	r := rng.New(12)
+	x, y := friedman(r, 700) // several predictBlock chunks
+	p := Defaults()
+	p.Trees = 20
+	f := Fit(x, y, p, r)
+	serial := f.PredictBatch(x, nil)
+	for _, workers := range []int{0, 1, 2, 3, 7} {
+		par := f.PredictBatchParallel(x, make([]float64, x.Rows), workers)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d row %d: parallel %v != serial %v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestPredictBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under -race")
+	}
+	r := rng.New(13)
+	x, y := friedman(r, 200)
+	p := Defaults()
+	p.Trees = 10
+	f := Fit(x, y, p, r)
+	dst := make([]float64, x.Rows)
+	if n := testing.AllocsPerRun(20, func() { f.PredictBatch(x, dst) }); n != 0 {
+		t.Fatalf("PredictBatch with reused dst allocates %v times per call, want 0", n)
+	}
+}
+
+func BenchmarkForestPredictBatch(b *testing.B) {
+	r := rng.New(1)
+	x, y := friedman(r, 2000)
+	p := Defaults()
+	p.Trees = 100
+	f := Fit(x, y, p, r)
+	dst := make([]float64, x.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictBatch(x, dst)
+	}
+}

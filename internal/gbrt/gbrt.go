@@ -89,6 +89,10 @@ func Fit(x *mat.Dense, y []float64, p Params, r *rng.Source) *Model {
 		nSub = 1
 	}
 
+	// One Fitter across all rounds: the workspace arena is reused and the
+	// per-feature presort of x is computed once, not once per stage.
+	ft := tree.NewFitter()
+	m.Trees = make([]*tree.Tree, 0, p.Rounds)
 	for round := 0; round < p.Rounds; round++ {
 		for i := range resid {
 			resid[i] = y[i] - cur[i]
@@ -96,9 +100,9 @@ func Fit(x *mat.Dense, y []float64, p Params, r *rng.Source) *Model {
 		var t *tree.Tree
 		if p.Subsample < 1 {
 			idx := r.Sample(x.Rows, nSub)
-			t = tree.FitIndices(x, resid, idx, tp, nil)
+			t = ft.FitIndices(x, resid, idx, tp, nil)
 		} else {
-			t = tree.Fit(x, resid, tp, nil)
+			t = ft.Fit(x, resid, tp, nil)
 		}
 		m.Trees = append(m.Trees, t)
 		for i := 0; i < x.Rows; i++ {
@@ -120,13 +124,52 @@ func (m *Model) Predict(v []float64) float64 {
 	return s
 }
 
-// PredictBatch fills dst with predictions for every row of x.
+// predictBlock is the row-block size for batch prediction; see the
+// identical blocking in forest.PredictBatch.
+const predictBlock = 128
+
+// PredictBatch fills dst with predictions for every row of x. With a
+// non-nil dst the call performs no allocations, and results are
+// bit-identical to calling Predict per row (same accumulation order).
 func (m *Model) PredictBatch(x *mat.Dense, dst []float64) []float64 {
+	if x.Cols != m.Features {
+		panic(fmt.Sprintf("gbrt: predict with %d features, model has %d", x.Cols, m.Features))
+	}
 	if dst == nil {
 		dst = make([]float64, x.Rows)
 	}
-	for i := 0; i < x.Rows; i++ {
-		dst[i] = m.Predict(x.Row(i))
+	if len(dst) != x.Rows {
+		panic("gbrt: PredictBatch dst length mismatch")
+	}
+	data := x.Data
+	cols := x.Cols
+	for b := 0; b < x.Rows; b += predictBlock {
+		be := b + predictBlock
+		if be > x.Rows {
+			be = x.Rows
+		}
+		for i := b; i < be; i++ {
+			dst[i] = m.Base
+		}
+		for _, t := range m.Trees {
+			nodes := t.Nodes
+			for i := b; i < be; i++ {
+				row := data[i*cols : i*cols+cols]
+				j := int32(0)
+				for {
+					n := &nodes[j]
+					if n.Feature < 0 {
+						dst[i] += m.Shrinkage * n.Value
+						break
+					}
+					if row[n.Feature] <= n.Threshold {
+						j = n.Left
+					} else {
+						j = n.Right
+					}
+				}
+			}
+		}
 	}
 	return dst
 }

@@ -22,22 +22,30 @@ type MultiTaskModel struct {
 
 // Predict evaluates all task outputs for a feature vector.
 func (m *MultiTaskModel) Predict(v []float64) []float64 {
+	return m.PredictInto(v, make([]float64, m.Tasks))
+}
+
+// PredictInto evaluates all task outputs for a feature vector into dst
+// (length Tasks) and returns it. The call performs no allocations.
+func (m *MultiTaskModel) PredictInto(v, dst []float64) []float64 {
 	if len(v) != m.Coef.Rows {
 		panic(fmt.Sprintf("linmod: multitask predict with %d features, model has %d", len(v), m.Coef.Rows))
 	}
-	out := make([]float64, m.Tasks)
-	copy(out, m.Intercept)
+	if len(dst) != m.Tasks {
+		panic(fmt.Sprintf("linmod: multitask predict into %d outputs, model has %d tasks", len(dst), m.Tasks))
+	}
+	copy(dst, m.Intercept)
 	for j, xv := range v {
 		//lint:allow floateq -- sparsity fast path: skip features stored as literal 0
 		if xv == 0 {
 			continue
 		}
 		row := m.Coef.Row(j)
-		for t := range out {
-			out[t] += xv * row[t]
+		for t := range dst {
+			dst[t] += xv * row[t]
 		}
 	}
-	return out
+	return dst
 }
 
 // PredictTask evaluates a single task output.

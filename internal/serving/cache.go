@@ -70,20 +70,45 @@ func (c *Cache) Get(key string) (any, bool) {
 // reports true — it did not compute). Errors are returned to every
 // waiter and never cached.
 func (c *Cache) Do(key string, fn func() (any, error)) (any, bool, error) {
+	return c.do(key, nil, fn)
+}
+
+// DoBytes is Do for a key built in a reusable byte buffer. The hit path
+// looks the key up without converting it to a string, so a cache hit
+// performs no key allocation; the key bytes are only copied (once) on
+// the miss/coalesce path. The buffer may be reused immediately after
+// return.
+func (c *Cache) DoBytes(key []byte, fn func() (any, error)) (any, bool, error) {
+	return c.do("", key, fn)
+}
+
+// do implements Do/DoBytes. Exactly one of skey/bkey is the key: bkey
+// when non-nil, else skey.
+func (c *Cache) do(skey string, bkey []byte, fn func() (any, error)) (any, bool, error) {
 	if c.capacity <= 0 {
 		c.misses.Add(1)
 		v, err := fn()
 		return v, false, err
 	}
 	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
+	if bkey != nil {
+		// string(bkey) in a map index does not allocate.
+		if el, ok := c.items[string(bkey)]; ok {
+			c.ll.MoveToFront(el)
+			v := el.Value.(*cacheItem).val
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return v, true, nil
+		}
+		skey = string(bkey) // miss: materialize the key once
+	} else if el, ok := c.items[skey]; ok {
 		c.ll.MoveToFront(el)
 		v := el.Value.(*cacheItem).val
 		c.mu.Unlock()
 		c.hits.Add(1)
 		return v, true, nil
 	}
-	if fl, ok := c.inflight[key]; ok {
+	if fl, ok := c.inflight[skey]; ok {
 		c.mu.Unlock()
 		c.coalesced.Add(1)
 		fl.wg.Wait()
@@ -91,16 +116,16 @@ func (c *Cache) Do(key string, fn func() (any, error)) (any, bool, error) {
 	}
 	fl := &flightCall{}
 	fl.wg.Add(1)
-	c.inflight[key] = fl
+	c.inflight[skey] = fl
 	c.mu.Unlock()
 
 	c.misses.Add(1)
 	fl.val, fl.err = fn()
 
 	c.mu.Lock()
-	delete(c.inflight, key)
+	delete(c.inflight, skey)
 	if fl.err == nil {
-		c.add(key, fl.val)
+		c.add(skey, fl.val)
 	}
 	c.mu.Unlock()
 	fl.wg.Done()

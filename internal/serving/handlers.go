@@ -1,11 +1,13 @@
 package serving
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
-	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -25,6 +27,11 @@ type Options struct {
 	// caching. DefaultCacheSize is used when the field is zero and the
 	// options struct itself came from DefaultOptions.
 	CacheSize int
+
+	// BatchWorkers bounds the goroutines used to compute one large
+	// /v1/predict batch; <= 0 means GOMAXPROCS. Results are always
+	// index-ordered regardless of worker count. 1 forces serial batches.
+	BatchWorkers int
 }
 
 // DefaultCacheSize is the prediction-cache capacity used by DefaultOptions.
@@ -36,19 +43,21 @@ func DefaultOptions() Options { return Options{CacheSize: DefaultCacheSize} }
 // Server serves predictions from a Registry over HTTP. Create with New,
 // mount via Handler.
 type Server struct {
-	reg     *Registry
-	cache   *Cache
-	metrics *Metrics
-	mux     *http.ServeMux
+	reg          *Registry
+	cache        *Cache
+	metrics      *Metrics
+	mux          *http.ServeMux
+	batchWorkers int
 }
 
 // New builds a Server over a registry.
 func New(reg *Registry, opts Options) *Server {
 	s := &Server{
-		reg:     reg,
-		cache:   NewCache(opts.CacheSize),
-		metrics: NewMetrics(),
-		mux:     http.NewServeMux(),
+		reg:          reg,
+		cache:        NewCache(opts.CacheSize),
+		metrics:      NewMetrics(),
+		mux:          http.NewServeMux(),
+		batchWorkers: opts.BatchWorkers,
 	}
 	s.mux.Handle("POST /v1/predict", s.instrument("predict", s.handlePredict))
 	s.mux.Handle("GET /v1/models", s.instrument("models", s.handleModels))
@@ -148,11 +157,21 @@ func modelInfo(e *Entry) ModelInfo {
 
 // ---- handlers ----
 
+// predictReqPool recycles request objects so steady-state decoding
+// reuses the param/config slice capacity instead of regrowing it from
+// nothing on every request. Decoded slices are only valid until the
+// request returns; anything cached is copied (see computeResult).
+var predictReqPool = sync.Pool{New: func() any { return new(PredictRequest) }}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	var req PredictRequest
+	req := predictReqPool.Get().(*PredictRequest)
+	defer func() {
+		*req = PredictRequest{Params: req.Params[:0], Configs: req.Configs[:0]}
+		predictReqPool.Put(req)
+	}()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
@@ -164,8 +183,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	configs := req.Configs
-	if req.Params != nil {
-		configs = append([][]float64{req.Params}, configs...)
+	var one [1][]float64
+	if len(req.Params) > 0 {
+		if len(configs) == 0 {
+			one[0] = req.Params // single-config fast path: no slice allocation
+			configs = one[:]
+		} else {
+			configs = append([][]float64{req.Params}, configs...)
+		}
 	}
 	switch {
 	case len(configs) == 0:
@@ -197,27 +222,85 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := PredictResponse{Model: entry.Name, Version: entry.Version, Results: make([]ConfigResult, len(configs))}
-	for i, cfg := range configs {
-		key := predictKey(entry, &req, cfg)
-		v, hit, err := s.cache.Do(key, func() (any, error) {
-			return computeResult(entry.Model, &req, cfg)
-		})
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		res := *v.(*ConfigResult) // shallow copy; cached inner slices are never mutated
-		res.Cached = hit
-		resp.Results[i] = res
-		s.metrics.predictions.Add(1)
+	if err := s.computeBatch(entry, req, configs, resp.Results); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// computeResult runs the actual model for one configuration.
+// minParallelBatch is the batch size below which fan-out overhead beats
+// any parallel win and batches run serially.
+const minParallelBatch = 64
+
+// computeBatch fills out[i] with configs[i]'s prediction, through the
+// cache. Large batches fan out over bounded workers on contiguous index
+// chunks; output order is index order either way, and on failure the
+// lowest-index error is returned (each chunk stops at its first error,
+// which is its lowest, so the minimum over chunks is the global one) —
+// the response is identical to a serial run regardless of worker count.
+func (s *Server) computeBatch(entry *Entry, req *PredictRequest, configs [][]float64, out []ConfigResult) error {
+	workers := s.batchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(configs) < minParallelBatch || workers == 1 {
+		var kb [128]byte
+		_, err := s.computeRange(entry, req, configs, out, 0, len(configs), kb[:0])
+		return err
+	}
+	chunk := (len(configs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errIdx := -1
+	var firstErr error
+	for lo := 0; lo < len(configs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(configs) {
+			hi = len(configs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			if i, err := s.computeRange(entry, req, configs, out, lo, hi, make([]byte, 0, 128)); err != nil {
+				mu.Lock()
+				if errIdx < 0 || i < errIdx {
+					errIdx, firstErr = i, err
+				}
+				mu.Unlock()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// computeRange computes configs[lo:hi] into out, reusing kb as the cache
+// key buffer. It stops at the first error, returning its index.
+func (s *Server) computeRange(entry *Entry, req *PredictRequest, configs [][]float64, out []ConfigResult, lo, hi int, kb []byte) (int, error) {
+	for i := lo; i < hi; i++ {
+		cfg := configs[i]
+		kb = appendPredictKey(kb[:0], entry, req, cfg)
+		v, hit, err := s.cache.DoBytes(kb, func() (any, error) {
+			return computeResult(entry.Model, req, cfg)
+		})
+		if err != nil {
+			return i, err
+		}
+		res := *v.(*ConfigResult) // shallow copy; cached inner slices are never mutated
+		res.Cached = hit
+		out[i] = res
+		s.metrics.predictions.Add(1)
+	}
+	return -1, nil
+}
+
+// computeResult runs the actual model for one configuration. cfg is
+// copied: the result outlives the request in the cache, while cfg's
+// backing array belongs to the pooled request object.
 func computeResult(m *core.TwoLevelModel, req *PredictRequest, cfg []float64) (*ConfigResult, error) {
 	res := &ConfigResult{
-		Params:  cfg,
+		Params:  append([]float64(nil), cfg...),
 		Cluster: m.AssignCluster(cfg),
 	}
 	if req.Small {
@@ -240,29 +323,29 @@ func computeResult(m *core.TwoLevelModel, req *PredictRequest, cfg []float64) (*
 	return res, nil
 }
 
-// predictKey builds the cache key for one configuration. The model
-// version is part of the key, so a hot-swap invalidates by construction.
-func predictKey(e *Entry, req *PredictRequest, cfg []float64) string {
-	var b strings.Builder
-	b.Grow(64 + 24*len(cfg))
-	b.WriteString(e.Name)
-	b.WriteByte('@')
-	b.WriteString(strconv.Itoa(e.Version))
-	b.WriteString("|at=")
-	b.WriteString(strconv.Itoa(req.At))
-	b.WriteString("|q=")
-	b.WriteString(strconv.FormatFloat(req.Interval, 'g', -1, 64))
+// appendPredictKey appends the cache key for one configuration to dst
+// and returns it, so a reused buffer makes key construction
+// allocation-free. The model version is part of the key, so a hot-swap
+// invalidates by construction.
+func appendPredictKey(dst []byte, e *Entry, req *PredictRequest, cfg []float64) []byte {
+	dst = append(dst, e.Name...)
+	dst = append(dst, '@')
+	dst = strconv.AppendInt(dst, int64(e.Version), 10)
+	dst = append(dst, "|at="...)
+	dst = strconv.AppendInt(dst, int64(req.At), 10)
+	dst = append(dst, "|q="...)
+	dst = strconv.AppendFloat(dst, req.Interval, 'g', -1, 64)
 	if req.Small {
-		b.WriteString("|s")
+		dst = append(dst, "|s"...)
 	}
-	b.WriteByte('|')
+	dst = append(dst, '|')
 	for i, v := range cfg {
 		if i > 0 {
-			b.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
 	}
-	return b.String()
+	return dst
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -333,13 +416,37 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 	})
 }
 
+// jsonWriter pairs a reusable encode buffer with an encoder bound to it,
+// pooled so the steady-state response path allocates neither.
+type jsonWriter struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonWriterPool = sync.Pool{New: func() any {
+	jw := &jsonWriter{}
+	jw.enc = json.NewEncoder(&jw.buf)
+	return jw
+}}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	jw := jsonWriterPool.Get().(*jsonWriter)
+	jw.buf.Reset()
+	if err := jw.enc.Encode(v); err != nil {
+		// Only possible for unencodable values, which would be a bug in
+		// the response types; nothing has been written yet, so say so.
+		jsonWriterPool.Put(jw)
+		http.Error(w, fmt.Sprintf(`{"error":"encoding response: %v"}`, err), http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(jw.buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
 	// A failed response write means the client went away mid-reply; the
 	// status line is already committed, so there is nothing left to do.
-	_ = enc.Encode(v)
+	_, _ = w.Write(jw.buf.Bytes())
+	jsonWriterPool.Put(jw)
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {

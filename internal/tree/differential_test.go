@@ -1,0 +1,121 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// TestDifferentialSplitters is the byte-identity gate for the presorted
+// split search: over many seeded random datasets — varied sizes, heavy
+// duplicate values, constant columns, bootstrap repetition, feature
+// subsampling — the optimized splitter must serialize to exactly the
+// same trees as the retained naive reference splitter (reference.go).
+// Identical serialized trees means identical splits, thresholds,
+// tie-breaking, and node statistics, i.e. model files are byte-identical
+// before and after the splitter rewrite.
+func TestDifferentialSplitters(t *testing.T) {
+	ft := NewFitter() // reused across cases: workspace state must not leak
+	for seed := uint64(0); seed < 50; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			gen := rng.New(1000 + seed)
+			n := 5 + gen.Intn(296)
+			p := 1 + gen.Intn(8)
+			x := mat.NewDense(n, p)
+			y := make([]float64, n)
+			constCol := -1
+			if p > 1 && gen.Bernoulli(0.4) {
+				constCol = gen.Intn(p)
+			}
+			for j := 0; j < p; j++ {
+				// A third of the columns are quantized to a handful of
+				// levels so equal feature values (tie-breaking) are common.
+				levels := 0
+				if gen.Bernoulli(0.33) {
+					levels = 2 + gen.Intn(6)
+				}
+				for i := 0; i < n; i++ {
+					switch {
+					case j == constCol:
+						x.Set(i, j, 3.25)
+					case levels > 0:
+						x.Set(i, j, float64(gen.Intn(levels)))
+					default:
+						x.Set(i, j, gen.Norm())
+					}
+				}
+			}
+			for i := range y {
+				y[i] = gen.Norm()
+			}
+
+			params := Defaults()
+			params.MaxDepth = 1 + gen.Intn(25)
+			params.MinLeafSamples = 1 + gen.Intn(4)
+			if gen.Bernoulli(0.5) && p > 1 {
+				params.MaxFeatures = 1 + gen.Intn(p)
+			}
+
+			var idx []int
+			if gen.Bernoulli(0.5) {
+				idx = gen.Bootstrap(nil, n) // duplicates rows, like forest bagging
+			}
+
+			fitSeed := gen.Uint64()
+			var fast, ref *Tree
+			if idx == nil {
+				fast = ft.Fit(x, y, params, rng.New(fitSeed))
+				ref = fitReference(x, y, nil, params, rng.New(fitSeed))
+			} else {
+				fast = ft.FitIndices(x, y, idx, params, rng.New(fitSeed))
+				ref = fitReference(x, y, idx, params, rng.New(fitSeed))
+			}
+
+			a, err := json.Marshal(fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("presorted and reference splitters disagree\n n=%d p=%d maxDepth=%d minLeaf=%d maxFeat=%d bootstrap=%v\npresorted: %s\nreference: %s",
+					n, p, params.MaxDepth, params.MinLeafSamples, params.MaxFeatures, idx != nil, a, b)
+			}
+		})
+	}
+}
+
+// TestFitterReuseMatchesOneShot ensures a warm workspace produces the
+// same tree as the package-level one-shot entry points.
+func TestFitterReuseMatchesOneShot(t *testing.T) {
+	gen := rng.New(77)
+	x := mat.NewDense(120, 4)
+	y := make([]float64, 120)
+	for i := 0; i < 120; i++ {
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, gen.Float64())
+		}
+		y[i] = gen.Norm()
+	}
+	p := Defaults()
+	p.MaxFeatures = 2
+
+	ft := NewFitter()
+	// Warm the workspace on an unrelated fit first.
+	ft.Fit(x, y, Defaults(), nil)
+
+	warm := ft.Fit(x, y, p, rng.New(9))
+	cold := Fit(x, y, p, rng.New(9))
+	a, _ := json.Marshal(warm)
+	b, _ := json.Marshal(cold)
+	if !bytes.Equal(a, b) {
+		t.Fatal("warm-workspace fit differs from one-shot fit")
+	}
+}

@@ -1,0 +1,404 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// Fitter grows trees while reusing every scratch buffer across fits. One
+// Fitter serves one goroutine (it is not safe for concurrent use); a
+// forest worker holds one Fitter for all the trees it grows, so a
+// 100-tree fit allocates O(trees), not O(nodes·features).
+//
+// The split search is presorted: the dataset's per-feature row orders are
+// sorted once per dataset (cached across fits over the same matrix, so a
+// bagged ensemble pays for sorting once, not once per tree), each fit's
+// row sample is derived from the cached order by multiplicity counting in
+// linear time, and per-node orderings are maintained down the recursion
+// by stable partition of the presorted arrays — no per-node sorting.
+//
+// Determinism contract (shared with reference.go): a node's per-feature
+// ordering is its rows sorted by (feature value, dataset row index), with
+// duplicate bootstrap draws of a row adjacent; node statistics are summed
+// in bootstrap-position order. These orderings fully determine every
+// floating-point operation of the split search. Stable partition
+// preserves both (a subsequence of a sorted sequence is sorted), which is
+// why the presorted splitter is byte-identical to the naive
+// per-node-sorting reference splitter (see differential_test.go).
+type Fitter struct {
+	ws workspace
+}
+
+// NewFitter returns an empty Fitter; buffers are sized lazily on first use.
+func NewFitter() *Fitter { return &Fitter{} }
+
+// workspace bundles the per-fit scratch buffers, reused across fits.
+type workspace struct {
+	x   *mat.Dense
+	y   []float64
+	p   Params
+	rng *rng.Source
+
+	feat []int // feature-candidate scratch for subsampling
+
+	// Per-dataset presort cache: for baseX, baseRows[f]/baseVals[f] hold
+	// all dataset rows and their feature-f values sorted by (value, row).
+	// The fitted matrix must not be mutated while its Fitter is in use.
+	baseX    *mat.Dense
+	baseRows [][]int32
+	baseVals [][]float64
+	count    []int32 // per-row bootstrap multiplicities
+
+	// Per-fit presorted state. A node owns segment [start, end) of every
+	// array. rows[f]/vals[f] hold the node's row entries and their
+	// feature-f values in (value, row) order; pos holds the node's rows
+	// in bootstrap-position order — the canonical summation order for
+	// node statistics.
+	rows [][]int32
+	vals [][]float64
+	pos  []int32
+
+	sorter  sortByValRow // base presort state (avoids sort.Sort boxing)
+	tmpRows []int32      // stable-partition spill buffer
+	tmpVals []float64
+	goLeft  []bool // per-row side flags for the current partition
+}
+
+// ensure (re)sizes every buffer for a fit over n node rows and x's shape.
+func (ws *workspace) ensure(x *mat.Dense, n int) {
+	p := x.Cols
+	if cap(ws.feat) < p {
+		ws.feat = make([]int, p)
+	}
+	ws.feat = ws.feat[:p]
+	for i := range ws.feat {
+		ws.feat[i] = i
+	}
+	if len(ws.rows) < p {
+		ws.rows = append(ws.rows, make([][]int32, p-len(ws.rows))...)
+		ws.vals = append(ws.vals, make([][]float64, p-len(ws.vals))...)
+	}
+	for f := 0; f < p; f++ {
+		if cap(ws.rows[f]) < n {
+			ws.rows[f] = make([]int32, n)
+			ws.vals[f] = make([]float64, n)
+		}
+		ws.rows[f] = ws.rows[f][:n]
+		ws.vals[f] = ws.vals[f][:n]
+	}
+	if cap(ws.pos) < n {
+		ws.pos = make([]int32, n)
+		ws.tmpRows = make([]int32, n)
+		ws.tmpVals = make([]float64, n)
+	}
+	ws.pos = ws.pos[:n]
+	ws.tmpRows = ws.tmpRows[:n]
+	ws.tmpVals = ws.tmpVals[:n]
+	if cap(ws.goLeft) < x.Rows {
+		ws.goLeft = make([]bool, x.Rows)
+		ws.count = make([]int32, x.Rows)
+	}
+	ws.goLeft = ws.goLeft[:x.Rows]
+	ws.count = ws.count[:x.Rows]
+}
+
+// presort (re)builds the per-dataset sorted orders unless the cache
+// already covers x.
+func (ws *workspace) presort(x *mat.Dense) {
+	if ws.baseX == x {
+		return
+	}
+	r := x.Rows
+	if len(ws.baseRows) < x.Cols {
+		ws.baseRows = append(ws.baseRows, make([][]int32, x.Cols-len(ws.baseRows))...)
+		ws.baseVals = append(ws.baseVals, make([][]float64, x.Cols-len(ws.baseVals))...)
+	}
+	for f := 0; f < x.Cols; f++ {
+		if cap(ws.baseRows[f]) < r {
+			ws.baseRows[f] = make([]int32, r)
+			ws.baseVals[f] = make([]float64, r)
+		}
+		rows := ws.baseRows[f][:r]
+		vals := ws.baseVals[f][:r]
+		ws.baseRows[f], ws.baseVals[f] = rows, vals
+		for i := 0; i < r; i++ {
+			rows[i] = int32(i)
+			vals[i] = x.At(i, f)
+		}
+		ws.sorter.vals, ws.sorter.rows = vals, rows
+		sort.Sort(&ws.sorter)
+	}
+	ws.baseX = x
+}
+
+// Fit grows a tree on x, y. A nil r is allowed when p.MaxFeatures <= 0
+// (no randomness is needed). Rows of x are samples.
+func (ft *Fitter) Fit(x *mat.Dense, y []float64, p Params, r *rng.Source) *Tree {
+	if x.Rows != len(y) {
+		panic(fmt.Sprintf("tree: %d rows vs %d targets", x.Rows, len(y)))
+	}
+	if x.Rows == 0 {
+		panic("tree: Fit on empty dataset")
+	}
+	return ft.fit(x, y, nil, p, r)
+}
+
+// FitIndices grows a tree on the subset of rows given by idx (with
+// repetitions allowed, as produced by bootstrap sampling). The caller's
+// idx slice is not mutated.
+func (ft *Fitter) FitIndices(x *mat.Dense, y []float64, idx []int, p Params, r *rng.Source) *Tree {
+	if len(idx) == 0 {
+		panic("tree: FitIndices with no rows")
+	}
+	return ft.fit(x, y, idx, p, r)
+}
+
+// fit derives the fit's presorted arrays from the dataset cache and grows
+// the tree. idx == nil means all rows.
+func (ft *Fitter) fit(x *mat.Dense, y []float64, idx []int, p Params, r *rng.Source) *Tree {
+	p = p.withDefaults(r != nil)
+	ws := &ft.ws
+	n := x.Rows
+	if idx != nil {
+		n = len(idx)
+	}
+	ws.ensure(x, n)
+	ws.presort(x)
+	ws.x, ws.y, ws.p, ws.rng = x, y, p, r
+
+	if idx == nil {
+		for k := range ws.pos {
+			ws.pos[k] = int32(k)
+		}
+		for f := 0; f < x.Cols; f++ {
+			copy(ws.rows[f], ws.baseRows[f])
+			copy(ws.vals[f], ws.baseVals[f])
+		}
+	} else {
+		for k, row := range idx {
+			ws.pos[k] = int32(row)
+			ws.count[row]++
+		}
+		// Emit each dataset row with its sample multiplicity, walking the
+		// cached (value, row) order: linear time, no per-fit sorting.
+		for f := 0; f < x.Cols; f++ {
+			rows, vals := ws.rows[f], ws.vals[f]
+			k := 0
+			for i, row := range ws.baseRows[f] {
+				c := ws.count[row]
+				v := ws.baseVals[f][i]
+				for ; c > 0; c-- {
+					rows[k] = row
+					vals[k] = v
+					k++
+				}
+			}
+		}
+		for _, row := range idx {
+			ws.count[row] = 0
+		}
+	}
+
+	t := &Tree{Features: x.Cols}
+	ft.grow(t, 0, n, 0)
+	ws.y, ws.rng = nil, nil // drop references; buffers and dataset cache stay
+	return t
+}
+
+// sortByValRow orders (value, row) pairs by feature value with ties
+// broken by dataset row index — a concrete type instead of a closure
+// comparator. Distinct entries never compare equal, so the standard
+// unstable sort produces the unique sorted sequence deterministically.
+type sortByValRow struct {
+	vals []float64
+	rows []int32
+}
+
+func (s *sortByValRow) Len() int { return len(s.rows) }
+
+func (s *sortByValRow) Less(i, j int) bool {
+	if s.vals[i] < s.vals[j] {
+		return true
+	}
+	if s.vals[j] < s.vals[i] {
+		return false
+	}
+	return s.rows[i] < s.rows[j]
+}
+
+func (s *sortByValRow) Swap(i, j int) {
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+}
+
+// grow appends the subtree over workspace segment [start, end) and
+// returns its node index.
+func (ft *Fitter) grow(t *Tree, start, end, depth int) int32 {
+	ws := &ft.ws
+	self := int32(len(t.Nodes))
+	n := end - start
+	var sum float64
+	for _, row := range ws.pos[start:end] {
+		sum += ws.y[row]
+	}
+	t.Nodes = append(t.Nodes, Node{Feature: -1, Value: sum / float64(n), Samples: int32(n)})
+
+	if depth >= ws.p.MaxDepth || n < ws.p.MinSplit {
+		return self
+	}
+	feature, threshold, gain, nl := ft.bestSplit(start, end)
+	if feature < 0 || gain <= ws.p.MinImpurityDecrease {
+		return self
+	}
+	if nl < ws.p.MinLeafSamples || n-nl < ws.p.MinLeafSamples {
+		return self
+	}
+	ft.partition(start, end, feature, nl)
+	mid := start + nl
+	left := ft.grow(t, start, mid, depth+1)
+	right := ft.grow(t, mid, end, depth+1)
+	nd := &t.Nodes[self]
+	nd.Feature = feature
+	nd.Threshold = threshold
+	nd.Left, nd.Right = left, right
+	return self
+}
+
+// bestSplit scans candidate features over the presorted segment and
+// returns the split with the largest variance reduction, with nl the
+// number of rows routed left. Returns feature -1 when no valid split
+// exists. The scan body must stay operation-for-operation identical to
+// the reference splitter's (reference.go) so both produce bit-equal
+// gains and thresholds.
+func (ft *Fitter) bestSplit(start, end int) (feature int, threshold, gain float64, nl int) {
+	ws := &ft.ws
+	n := end - start
+	var totalSum, totalSq float64
+	for _, row := range ws.pos[start:end] {
+		v := ws.y[row]
+		totalSum += v
+		totalSq += v * v
+	}
+	parentImp := totalSq - totalSum*totalSum/float64(n) // n * variance
+
+	candidates := ws.feat
+	if ws.p.MaxFeatures > 0 && ws.p.MaxFeatures < len(ws.feat) {
+		// Partial Fisher-Yates over the shared scratch: the first
+		// MaxFeatures entries become the sample.
+		for i := 0; i < ws.p.MaxFeatures; i++ {
+			j := i + ws.rng.Intn(len(ws.feat)-i)
+			ws.feat[i], ws.feat[j] = ws.feat[j], ws.feat[i]
+		}
+		candidates = ws.feat[:ws.p.MaxFeatures]
+	}
+
+	feature = -1
+	y := ws.y
+	minLeaf := ws.p.MinLeafSamples
+	for _, f := range candidates {
+		rows := ws.rows[f][start:end]
+		vals := ws.vals[f][start:end]
+		var leftSum, leftSq float64
+		for k := 0; k < n-1; k++ {
+			yv := y[rows[k]]
+			leftSum += yv
+			leftSq += yv * yv
+			xv, xNext := vals[k], vals[k+1]
+			if !(xv < xNext) {
+				continue // can't split between equal values (segment is sorted)
+			}
+			l := k + 1
+			r := n - l
+			if l < minLeaf || r < minLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			childImp := (leftSq - leftSum*leftSum/float64(l)) +
+				(rightSq - rightSum*rightSum/float64(r))
+			if g := parentImp - childImp; g > gain {
+				gain = g
+				feature = f
+				nl = l
+				thr := xv + (xNext-xv)/2
+				if !(thr < xNext) { // midpoint rounded up between adjacent floats
+					thr = xv
+				}
+				threshold = thr
+			}
+		}
+	}
+	if math.IsNaN(gain) {
+		return -1, 0, 0, 0
+	}
+	return feature, threshold, gain, nl
+}
+
+// partition splits segment [start, end) of every presorted array so the
+// nl left-routed rows occupy [start, start+nl) and the rest
+// [start+nl, end), preserving relative (value, row) order on both sides.
+// Which rows go left is read off the split feature's own sorted segment:
+// its first nl entries are exactly the left rows, and duplicate bootstrap
+// draws of a row share a feature value, so a per-row flag is well
+// defined.
+func (ft *Fitter) partition(start, end, feature, nl int) {
+	ws := &ft.ws
+	split := ws.rows[feature][start:end]
+	for _, row := range split[:nl] {
+		ws.goLeft[row] = true
+	}
+	for _, row := range split[nl:] {
+		ws.goLeft[row] = false
+	}
+	for f := 0; f < ws.x.Cols; f++ {
+		if f == feature {
+			continue // already partitioned: its first nl entries are the left rows
+		}
+		rows := ws.rows[f][start:end]
+		vals := ws.vals[f][start:end]
+		w, spill := 0, 0
+		for k, row := range rows {
+			if ws.goLeft[row] {
+				rows[w] = row
+				vals[w] = vals[k]
+				w++
+			} else {
+				ws.tmpRows[spill] = row
+				ws.tmpVals[spill] = vals[k]
+				spill++
+			}
+		}
+		copy(rows[w:], ws.tmpRows[:spill])
+		copy(vals[w:], ws.tmpVals[:spill])
+	}
+	pos := ws.pos[start:end]
+	w, spill := 0, 0
+	for _, row := range pos {
+		if ws.goLeft[row] {
+			pos[w] = row
+			w++
+		} else {
+			ws.tmpRows[spill] = row
+			spill++
+		}
+	}
+	copy(pos[w:], ws.tmpRows[:spill])
+}
+
+// Fit grows a tree on x, y with a one-shot workspace. A nil r is allowed
+// when p.MaxFeatures <= 0 (no randomness is needed). Rows of x are
+// samples. Loops that fit many trees should reuse a Fitter instead.
+func Fit(x *mat.Dense, y []float64, p Params, r *rng.Source) *Tree {
+	return NewFitter().Fit(x, y, p, r)
+}
+
+// FitIndices grows a tree on the subset of rows given by idx (with
+// repetitions allowed, as produced by bootstrap sampling) using a
+// one-shot workspace. Loops that fit many trees should reuse a Fitter.
+func FitIndices(x *mat.Dense, y []float64, idx []int, p Params, r *rng.Source) *Tree {
+	return NewFitter().FitIndices(x, y, idx, p, r)
+}

@@ -1,0 +1,189 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// This file retains the naive, pre-optimization splitter: at every node it
+// copies the node's rows and sorts them by each candidate feature from
+// scratch, exactly as tree.Fit did before the presorted rewrite. It is
+// kept as the ground truth for the differential test
+// (differential_test.go), which asserts that the presorted splitter in
+// fitter.go serializes to byte-identical trees.
+//
+// Determinism contract shared with fitter.go: a node's rows are kept in
+// bootstrap-position order (stable partition), node statistics are summed
+// in that order, and each per-feature sort orders rows by (value, dataset
+// row index). Entries that tie on both are duplicate bootstrap draws of
+// the same row and are indistinguishable to the scan, so the sorted
+// sequence is unique. Because the scan bodies are
+// operation-for-operation identical, every floating-point intermediate
+// matches the presorted path bit for bit.
+
+// refWorkspace carries the naive splitter's per-fit state.
+type refWorkspace struct {
+	x    *mat.Dense
+	y    []float64
+	p    Params
+	rng  *rng.Source
+	feat []int
+
+	rows []int32 // per-node sort scratch, aligned with vals
+	vals []float64
+	tmp  []int32 // stable-partition spill buffer
+}
+
+// fitReference grows a tree with the naive per-node-sorting splitter.
+// idx == nil means all rows. The caller's idx slice is not mutated.
+func fitReference(x *mat.Dense, y []float64, idx []int, p Params, r *rng.Source) *Tree {
+	if x.Rows != len(y) {
+		panic(fmt.Sprintf("tree: %d rows vs %d targets", x.Rows, len(y)))
+	}
+	if x.Rows == 0 && idx == nil {
+		panic("tree: Fit on empty dataset")
+	}
+	if idx != nil && len(idx) == 0 {
+		panic("tree: FitIndices with no rows")
+	}
+	p = p.withDefaults(r != nil)
+	n := x.Rows
+	if idx != nil {
+		n = len(idx)
+	}
+	ws := &refWorkspace{
+		x: x, y: y, p: p, rng: r,
+		feat: make([]int, x.Cols),
+		rows: make([]int32, n),
+		vals: make([]float64, n),
+		tmp:  make([]int32, n),
+	}
+	for i := range ws.feat {
+		ws.feat[i] = i
+	}
+	own := make([]int32, n)
+	for k := range own {
+		if idx != nil {
+			own[k] = int32(idx[k])
+		} else {
+			own[k] = int32(k)
+		}
+	}
+	t := &Tree{Features: x.Cols}
+	ws.grow(t, own, 0)
+	return t
+}
+
+// grow appends the subtree over rows held in bootstrap-position order.
+func (ws *refWorkspace) grow(t *Tree, node []int32, depth int) int32 {
+	self := int32(len(t.Nodes))
+	n := len(node)
+	var sum float64
+	for _, row := range node {
+		sum += ws.y[row]
+	}
+	t.Nodes = append(t.Nodes, Node{Feature: -1, Value: sum / float64(n), Samples: int32(n)})
+
+	if depth >= ws.p.MaxDepth || n < ws.p.MinSplit {
+		return self
+	}
+	feature, threshold, gain, nl := ws.bestSplit(node)
+	if feature < 0 || gain <= ws.p.MinImpurityDecrease {
+		return self
+	}
+	if nl < ws.p.MinLeafSamples || n-nl < ws.p.MinLeafSamples {
+		return self
+	}
+	// Stable partition: both sides keep bootstrap-position order.
+	w, spill := 0, 0
+	for _, row := range node {
+		if ws.x.At(int(row), feature) <= threshold {
+			node[w] = row
+			w++
+		} else {
+			ws.tmp[spill] = row
+			spill++
+		}
+	}
+	copy(node[w:], ws.tmp[:spill])
+	left := ws.grow(t, node[:nl], depth+1)
+	right := ws.grow(t, node[nl:], depth+1)
+	nd := &t.Nodes[self]
+	nd.Feature = feature
+	nd.Threshold = threshold
+	nd.Left, nd.Right = left, right
+	return self
+}
+
+// bestSplit is the naive split search: sort the node's rows per candidate
+// feature, then scan. The scan body must stay operation-for-operation
+// identical to Fitter.bestSplit.
+func (ws *refWorkspace) bestSplit(node []int32) (feature int, threshold, gain float64, nl int) {
+	n := len(node)
+	var totalSum, totalSq float64
+	for _, row := range node {
+		v := ws.y[row]
+		totalSum += v
+		totalSq += v * v
+	}
+	parentImp := totalSq - totalSum*totalSum/float64(n)
+
+	candidates := ws.feat
+	if ws.p.MaxFeatures > 0 && ws.p.MaxFeatures < len(ws.feat) {
+		for i := 0; i < ws.p.MaxFeatures; i++ {
+			j := i + ws.rng.Intn(len(ws.feat)-i)
+			ws.feat[i], ws.feat[j] = ws.feat[j], ws.feat[i]
+		}
+		candidates = ws.feat[:ws.p.MaxFeatures]
+	}
+
+	feature = -1
+	y := ws.y
+	minLeaf := ws.p.MinLeafSamples
+	for _, f := range candidates {
+		rows := ws.rows[:n]
+		vals := ws.vals[:n]
+		for k, row := range node {
+			rows[k] = row
+			vals[k] = ws.x.At(int(row), f)
+		}
+		sort.Sort(&sortByValRow{vals: vals, rows: rows})
+		var leftSum, leftSq float64
+		for k := 0; k < n-1; k++ {
+			yv := y[rows[k]]
+			leftSum += yv
+			leftSq += yv * yv
+			xv, xNext := vals[k], vals[k+1]
+			if !(xv < xNext) {
+				continue // can't split between equal values (segment is sorted)
+			}
+			l := k + 1
+			r := n - l
+			if l < minLeaf || r < minLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			childImp := (leftSq - leftSum*leftSum/float64(l)) +
+				(rightSq - rightSum*rightSum/float64(r))
+			if g := parentImp - childImp; g > gain {
+				gain = g
+				feature = f
+				nl = l
+				thr := xv + (xNext-xv)/2
+				if !(thr < xNext) { // midpoint rounded up between adjacent floats
+					thr = xv
+				}
+				threshold = thr
+			}
+		}
+	}
+	if math.IsNaN(gain) {
+		return -1, 0, 0, 0
+	}
+	return feature, threshold, gain, nl
+}

@@ -3,20 +3,21 @@
 // the base learner of the random forest at the paper's interpolation level
 // and of the gradient-boosting baseline.
 //
-// The implementation uses the standard sort-once-per-feature scan: at each
-// node, candidate thresholds for a feature are evaluated in a single pass
-// over the node's rows sorted by that feature, accumulating left/right
-// sufficient statistics, which makes a split search O(k·n log n) for k
-// candidate features.
+// The implementation uses a presorted split search (see fitter.go): each
+// feature's row order is sorted once per tree, and per-node orderings are
+// maintained down the recursion by stable partition of the presorted index
+// arrays, so a node's split search is a single linear scan per candidate
+// feature — no per-node sorting. All scratch lives in a per-Fitter
+// workspace that is reused across fits, so growing a tree allocates only
+// the tree itself. A naive per-node-sorting reference splitter is retained
+// in reference.go and differentially tested to produce byte-identical
+// trees (see differential_test.go).
 package tree
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"repro/internal/mat"
-	"repro/internal/rng"
 )
 
 // Params controls tree growth. The zero value is not valid; use Defaults.
@@ -44,6 +45,25 @@ func Defaults() Params {
 	}
 }
 
+// withDefaults applies the documented growth-parameter defaults shared by
+// Fit and FitIndices (and the reference splitter), and enforces that
+// feature subsampling has a randomness source.
+func (p Params) withDefaults(hasRNG bool) Params {
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = Defaults().MaxDepth
+	}
+	if p.MinLeafSamples <= 0 {
+		p.MinLeafSamples = 1
+	}
+	if p.MinSplit < 2 {
+		p.MinSplit = 2
+	}
+	if p.MaxFeatures > 0 && !hasRNG {
+		panic("tree: MaxFeatures > 0 requires a random source")
+	}
+	return p
+}
+
 // Node is one tree node. Leaves have Feature == -1.
 type Node struct {
 	Feature   int     `json:"f"`           // split feature, -1 for leaf
@@ -61,200 +81,15 @@ type Tree struct {
 	Features int    `json:"features"` // input dimensionality, for validation
 }
 
-// workspace bundles the per-fit scratch buffers.
-type workspace struct {
-	x    *mat.Dense
-	y    []float64
-	p    Params
-	rng  *rng.Source
-	feat []int // feature index scratch for subsampling
-}
-
-// Fit grows a tree on x, y. A nil r is allowed when p.MaxFeatures <= 0
-// (no randomness is needed). Rows of x are samples.
-func Fit(x *mat.Dense, y []float64, p Params, r *rng.Source) *Tree {
-	if x.Rows != len(y) {
-		panic(fmt.Sprintf("tree: %d rows vs %d targets", x.Rows, len(y)))
-	}
-	if x.Rows == 0 {
-		panic("tree: Fit on empty dataset")
-	}
-	if p.MaxDepth <= 0 {
-		p.MaxDepth = Defaults().MaxDepth
-	}
-	if p.MinLeafSamples <= 0 {
-		p.MinLeafSamples = 1
-	}
-	if p.MinSplit < 2 {
-		p.MinSplit = 2
-	}
-	if p.MaxFeatures > 0 && r == nil {
-		panic("tree: MaxFeatures > 0 requires a random source")
-	}
-	ws := &workspace{x: x, y: y, p: p, rng: r}
-	ws.feat = make([]int, x.Cols)
-	for i := range ws.feat {
-		ws.feat[i] = i
-	}
-	t := &Tree{Features: x.Cols}
-	idx := make([]int, x.Rows)
-	for i := range idx {
-		idx[i] = i
-	}
-	t.grow(ws, idx, 0)
-	return t
-}
-
-// FitIndices grows a tree on the subset of rows given by idx (with
-// repetitions allowed, as produced by bootstrap sampling).
-func FitIndices(x *mat.Dense, y []float64, idx []int, p Params, r *rng.Source) *Tree {
-	if len(idx) == 0 {
-		panic("tree: FitIndices with no rows")
-	}
-	if p.MaxDepth <= 0 {
-		p.MaxDepth = Defaults().MaxDepth
-	}
-	if p.MinLeafSamples <= 0 {
-		p.MinLeafSamples = 1
-	}
-	if p.MinSplit < 2 {
-		p.MinSplit = 2
-	}
-	if p.MaxFeatures > 0 && r == nil {
-		panic("tree: MaxFeatures > 0 requires a random source")
-	}
-	ws := &workspace{x: x, y: y, p: p, rng: r}
-	ws.feat = make([]int, x.Cols)
-	for i := range ws.feat {
-		ws.feat[i] = i
-	}
-	t := &Tree{Features: x.Cols}
-	own := append([]int(nil), idx...)
-	t.grow(ws, own, 0)
-	return t
-}
-
-// grow appends the subtree over rows idx and returns its node index.
-func (t *Tree) grow(ws *workspace, idx []int, depth int) int32 {
-	self := int32(len(t.Nodes))
-	mean := meanAt(ws.y, idx)
-	t.Nodes = append(t.Nodes, Node{Feature: -1, Value: mean, Samples: int32(len(idx))})
-
-	if depth >= ws.p.MaxDepth || len(idx) < ws.p.MinSplit {
-		return self
-	}
-	feature, threshold, gain := bestSplit(ws, idx)
-	if feature < 0 || gain <= ws.p.MinImpurityDecrease {
-		return self
-	}
-	// partition idx in place
-	lo, hi := 0, len(idx)
-	for lo < hi {
-		if ws.x.At(idx[lo], feature) <= threshold {
-			lo++
-		} else {
-			hi--
-			idx[lo], idx[hi] = idx[hi], idx[lo]
-		}
-	}
-	if lo < ws.p.MinLeafSamples || len(idx)-lo < ws.p.MinLeafSamples {
-		return self
-	}
-	left := t.grow(ws, idx[:lo], depth+1)
-	right := t.grow(ws, idx[lo:], depth+1)
-	n := &t.Nodes[self]
-	n.Feature = feature
-	n.Threshold = threshold
-	n.Left, n.Right = left, right
-	return self
-}
-
-func meanAt(y []float64, idx []int) float64 {
-	var s float64
-	for _, i := range idx {
-		s += y[i]
-	}
-	return s / float64(len(idx))
-}
-
-// bestSplit scans candidate features and returns the split with the largest
-// variance reduction (weighted by node fraction of the caller's rows).
-// Returns feature -1 when no valid split exists.
-func bestSplit(ws *workspace, idx []int) (feature int, threshold, gain float64) {
-	n := len(idx)
-	var totalSum, totalSq float64
-	for _, i := range idx {
-		v := ws.y[i]
-		totalSum += v
-		totalSq += v * v
-	}
-	parentImp := totalSq - totalSum*totalSum/float64(n) // n * variance
-
-	candidates := ws.feat
-	if ws.p.MaxFeatures > 0 && ws.p.MaxFeatures < len(ws.feat) {
-		// Partial Fisher-Yates over the shared scratch: the first
-		// MaxFeatures entries become the sample.
-		for i := 0; i < ws.p.MaxFeatures; i++ {
-			j := i + ws.rng.Intn(len(ws.feat)-i)
-			ws.feat[i], ws.feat[j] = ws.feat[j], ws.feat[i]
-		}
-		candidates = ws.feat[:ws.p.MaxFeatures]
-	}
-
-	feature = -1
-	order := make([]int, n)
-	minLeaf := ws.p.MinLeafSamples
-	for _, f := range candidates {
-		copy(order, idx)
-		sort.Slice(order, func(a, b int) bool {
-			return ws.x.At(order[a], f) < ws.x.At(order[b], f)
-		})
-		var leftSum, leftSq float64
-		for k := 0; k < n-1; k++ {
-			yv := ws.y[order[k]]
-			leftSum += yv
-			leftSq += yv * yv
-			xv := ws.x.At(order[k], f)
-			xNext := ws.x.At(order[k+1], f)
-			//lint:allow floateq -- exact guard: no split exists between bitwise-equal feature values
-			if xv == xNext {
-				continue // can't split between equal values
-			}
-			nl := k + 1
-			nr := n - nl
-			if nl < minLeaf || nr < minLeaf {
-				continue
-			}
-			rightSum := totalSum - leftSum
-			rightSq := totalSq - leftSq
-			childImp := (leftSq - leftSum*leftSum/float64(nl)) +
-				(rightSq - rightSum*rightSum/float64(nr))
-			g := parentImp - childImp
-			if g > gain {
-				gain = g
-				feature = f
-				threshold = xv + (xNext-xv)/2
-				//lint:allow floateq -- exact rounding check: the midpoint of adjacent floats can round up to the endpoint
-				if threshold == xNext { // midpoint rounded up between adjacent floats
-					threshold = xv
-				}
-			}
-		}
-	}
-	if math.IsNaN(gain) {
-		return -1, 0, 0
-	}
-	return feature, threshold, gain
-}
-
 // Predict returns the tree's prediction for feature vector v.
 func (t *Tree) Predict(v []float64) float64 {
 	if len(v) != t.Features {
 		panic(fmt.Sprintf("tree: predict with %d features, tree has %d", len(v), t.Features))
 	}
+	nodes := t.Nodes
 	i := int32(0)
 	for {
-		n := &t.Nodes[i]
+		n := &nodes[i]
 		if n.Feature < 0 {
 			return n.Value
 		}
@@ -267,16 +102,35 @@ func (t *Tree) Predict(v []float64) float64 {
 }
 
 // PredictBatch fills dst with predictions for every row of x; a nil dst is
-// allocated.
+// allocated. With a non-nil dst the call performs no allocations.
 func (t *Tree) PredictBatch(x *mat.Dense, dst []float64) []float64 {
+	if x.Cols != t.Features {
+		panic(fmt.Sprintf("tree: predict with %d features, tree has %d", x.Cols, t.Features))
+	}
 	if dst == nil {
 		dst = make([]float64, x.Rows)
 	}
 	if len(dst) != x.Rows {
 		panic("tree: PredictBatch dst length mismatch")
 	}
+	nodes := t.Nodes
+	cols := x.Cols
+	data := x.Data
 	for i := 0; i < x.Rows; i++ {
-		dst[i] = t.Predict(x.Row(i))
+		row := data[i*cols : i*cols+cols]
+		j := int32(0)
+		for {
+			n := &nodes[j]
+			if n.Feature < 0 {
+				dst[i] = n.Value
+				break
+			}
+			if row[n.Feature] <= n.Threshold {
+				j = n.Left
+			} else {
+				j = n.Right
+			}
+		}
 	}
 	return dst
 }

@@ -335,3 +335,73 @@ func BenchmarkPredict(b *testing.B) {
 		tr.Predict(v)
 	}
 }
+
+func TestPredictZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under -race")
+	}
+	r := rng.New(5)
+	n := 300
+	x := mat.NewDense(n, 5)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 5; j++ {
+			x.Set(i, j, r.Float64())
+		}
+		y[i] = r.Norm()
+	}
+	tr := Fit(x, y, Defaults(), nil)
+	v := x.Row(7)
+	if a := testing.AllocsPerRun(50, func() { tr.Predict(v) }); a != 0 {
+		t.Fatalf("Tree.Predict allocates %v times per call, want 0", a)
+	}
+	dst := make([]float64, n)
+	if a := testing.AllocsPerRun(20, func() { tr.PredictBatch(x, dst) }); a != 0 {
+		t.Fatalf("Tree.PredictBatch with reused dst allocates %v times per call, want 0", a)
+	}
+}
+
+// TestFitterAllocsAmortized checks the workspace arena does its job: after
+// warmup, repeated same-shape fits allocate only the tree being built.
+func TestFitterAllocsAmortized(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under -race")
+	}
+	r := rng.New(6)
+	n := 200
+	x := mat.NewDense(n, 4)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, r.Float64())
+		}
+		y[i] = r.Norm()
+	}
+	idx := r.Bootstrap(nil, n)
+	ft := NewFitter()
+	ft.FitIndices(x, y, idx, Defaults(), rng.New(1))
+	a := testing.AllocsPerRun(10, func() { ft.FitIndices(x, y, idx, Defaults(), rng.New(1)) })
+	// The tree itself (node slice growth + header) is all that remains.
+	if a > 12 {
+		t.Fatalf("warm Fitter allocates %v times per fit, want the tree only (<= 12)", a)
+	}
+}
+
+func BenchmarkTreeFit(b *testing.B) {
+	r := rng.New(1)
+	n := 1000
+	x := mat.NewDense(n, 8)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 8; j++ {
+			x.Set(i, j, r.Float64())
+		}
+		y[i] = x.At(i, 0) * math.Sin(x.At(i, 1))
+	}
+	idx := r.Bootstrap(nil, n)
+	ft := NewFitter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft.FitIndices(x, y, idx, Defaults(), rng.New(uint64(i)))
+	}
+}
