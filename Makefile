@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint test race bench bench-hotpath bench-check bench-paper bench-serving clean
+.PHONY: verify build vet lint test race bench bench-hotpath bench-uncertainty bench-check bench-paper bench-serving clean
 
 verify: build vet lint race
 
@@ -29,8 +29,10 @@ race:
 # retrain+promote, store ingest), committed as BENCH_pipeline.json via
 # cmd/benchjson so regressions show up in review diffs. -benchtime=10x
 # keeps single-digit-µs paths out of one-iteration noise while staying
-# cheap enough for CI smoke.
-bench:
+# cheap enough for CI smoke. Also refreshes the uncertainty baseline so
+# one `make bench` regenerates every committed BENCH_*.json but
+# BENCH_hotpath.json (kernel perf changes are deliberate, see above).
+bench: bench-uncertainty
 	$(GO) test -run='^$$' -benchmem -benchtime=10x \
 		-bench='^(BenchmarkFit500x6x50Trees|BenchmarkServePredict|BenchmarkPipelineRetrainPromote|BenchmarkStoreAppend)$$' \
 		./internal/forest/ ./internal/serving/ ./internal/pipeline/ > bench.out
@@ -47,6 +49,17 @@ bench-hotpath:
 	$(GO) run ./cmd/benchjson -in bench-hotpath.out -out BENCH_hotpath.json
 	@rm -f bench-hotpath.out
 
+# Uncertainty baseline (conformal calibration + factor lookup, drift
+# monitor push, interval serving through the handler), committed as
+# BENCH_uncertainty.json. Regenerate when a PR intentionally changes
+# interval or drift-path performance.
+bench-uncertainty:
+	$(GO) test -run='^$$' -benchmem -benchtime=10x \
+		-bench='^(BenchmarkConformalCalibrate|BenchmarkConformalFactor|BenchmarkMonitorObserve|BenchmarkServePredictInterval)$$' \
+		./internal/uncertainty/ ./internal/serving/ > bench-uncertainty.out
+	$(GO) run ./cmd/benchjson -in bench-uncertainty.out -out BENCH_uncertainty.json
+	@rm -f bench-uncertainty.out
+
 # CI smoke: re-run both benchmark suites and fail on a >2x ns/op or
 # allocs/op regression against the committed baselines. The generous
 # tolerance absorbs shared-runner noise while still catching real
@@ -61,7 +74,11 @@ bench-check:
 		-bench='^(BenchmarkTreeFit|BenchmarkForestPredictBatch)$$' \
 		./internal/tree/ ./internal/forest/ > bench-hotpath.out
 	$(GO) run ./cmd/benchjson -in bench-hotpath.out -compare BENCH_hotpath.json -tolerance 2.0
-	@rm -f bench.out bench-hotpath.out
+	$(GO) test -run='^$$' -benchmem -benchtime=10x \
+		-bench='^(BenchmarkConformalCalibrate|BenchmarkConformalFactor|BenchmarkMonitorObserve|BenchmarkServePredictInterval)$$' \
+		./internal/uncertainty/ ./internal/serving/ > bench-uncertainty.out
+	$(GO) run ./cmd/benchjson -in bench-uncertainty.out -compare BENCH_uncertainty.json -tolerance 2.0
+	@rm -f bench.out bench-hotpath.out bench-uncertainty.out
 
 # Reduced-size reconstruction of every table/figure plus the core
 # micro-benchmarks; see bench_test.go.

@@ -185,6 +185,13 @@ func cmdStatus(args []string) {
 		line := fmt.Sprintf("%s: %d records, %d params", a, store.Count(a), len(names))
 		if gen, ok := p.Journal().Active(a); ok {
 			line += fmt.Sprintf(", active gen %d", gen)
+			if m, err := core.Load(p.Promoter().ModelPath(a, gen)); err != nil {
+				line += fmt.Sprintf(" (unreadable: %v)", err)
+			} else if _, total := m.Meta.Calibration.Samples(); total > 0 {
+				line += fmt.Sprintf(", calibrated (%d residuals)", total)
+			} else {
+				line += ", uncalibrated"
+			}
 		} else {
 			line += ", never promoted"
 		}

@@ -5,16 +5,24 @@
 //
 //	predict -model model.json -params 192,192,128,20
 //	predict -model model.json -params 192,192,128,20 -at 512
-//	predict -model model.json -in configs.csv
+//	predict -model model.json -params 192,192,128,20 -interval 0.9
+//	predict -model model.json -in configs.csv -interval 0.9 -json
 //	cut -d, -f1-4 configs.csv | predict -model model.json -in -
 //
 // A -in CSV needs one header row naming the parameters (matching the
 // model's) and one row per configuration; "-in -" reads the CSV from
 // stdin, enabling piping.
+//
+// -interval takes a coverage level in [0.5, 1) (0.9 = a 90% band;
+// conformal when the model was trained by the pipeline, tree-ensemble
+// spread otherwise) or the legacy tail-quantile form in (0, 0.5).
+// -json emits one JSON object per configuration on stdout for piping
+// into jq or downstream tooling.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +33,16 @@ import (
 	"repro/internal/core"
 )
 
+// result is the -json output shape, one object per configuration.
+type result struct {
+	Params    []float64       `json:"params"`
+	Cluster   int             `json:"cluster"`
+	Scales    []int           `json:"scales"`
+	Runtimes  []float64       `json:"runtimes"`
+	Small     []float64       `json:"small,omitempty"`
+	Intervals []core.Interval `json:"intervals,omitempty"`
+}
+
 func main() {
 	var (
 		modelPath = flag.String("model", "model.json", "trained model path")
@@ -32,12 +50,34 @@ func main() {
 		in        = flag.String("in", "", "CSV of configurations (header + rows); - reads stdin")
 		at        = flag.Int("at", 0, "predict at one specific scale (0 = all targets)")
 		curves    = flag.Bool("small", false, "also print the predicted small-scale curve")
+		interval  = flag.Float64("interval", 0, "add prediction intervals at this coverage, e.g. 0.9 (off unless set)")
+		asJSON    = flag.Bool("json", false, "emit one JSON object per configuration instead of text")
 	)
 	flag.Parse()
 
 	m, err := core.Load(*modelPath)
 	if err != nil {
 		fatalf("loading model: %v", err)
+	}
+
+	// flag.Visit sees only flags given on the command line, so an
+	// explicit -interval 0 is rejected by NormalizeCoverage rather than
+	// silently treated as "off".
+	intervalSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "interval" {
+			intervalSet = true
+		}
+	})
+	coverage := 0.0
+	if intervalSet {
+		coverage, err = core.NormalizeCoverage(*interval)
+		if err != nil {
+			fatalf("-interval: %v", err)
+		}
+		if *at > 0 {
+			fatalf("-interval is incompatible with -at; request all target scales")
+		}
 	}
 
 	var configs [][]float64
@@ -57,30 +97,54 @@ func main() {
 		fatalf("provide -params or -in")
 	}
 
+	enc := json.NewEncoder(os.Stdout)
 	for _, cfg := range configs {
 		if len(cfg) != len(m.ParamNames) {
 			fatalf("configuration %v has %d values, model expects %d (%v)",
 				cfg, len(cfg), len(m.ParamNames), m.ParamNames)
 		}
-		fmt.Printf("config %v (cluster %d)\n", cfg, m.AssignCluster(cfg))
+		res := result{Params: cfg, Cluster: m.AssignCluster(cfg)}
 		if *curves {
-			smallPred := m.PredictSmall(cfg)
-			for i, s := range m.Cfg.SmallScales {
-				fmt.Printf("  p=%-6d %.6g s (interpolated)\n", s, smallPred[i])
-			}
+			res.Small = m.PredictSmall(cfg)
 		}
 		if *at > 0 {
 			v, err := m.PredictAt(cfg, *at)
 			if err != nil {
 				fatalf("%v", err)
 			}
-			fmt.Printf("  p=%-6d %.6g s\n", *at, v)
+			res.Scales = []int{*at}
+			res.Runtimes = []float64{v}
+		} else {
+			res.Scales = m.Cfg.LargeScales
+			res.Runtimes = m.Predict(cfg)
+			if coverage > 0 {
+				res.Intervals = m.PredictIntervalCov(cfg, coverage)
+			}
+		}
+		if *asJSON {
+			if err := enc.Encode(res); err != nil {
+				fatalf("encoding result: %v", err)
+			}
 			continue
 		}
-		pred := m.Predict(cfg)
-		for i, s := range m.Cfg.LargeScales {
-			fmt.Printf("  p=%-6d %.6g s\n", s, pred[i])
+		printResult(m, res)
+	}
+}
+
+func printResult(m *core.TwoLevelModel, res result) {
+	fmt.Printf("config %v (cluster %d)\n", res.Params, res.Cluster)
+	if res.Small != nil {
+		for i, s := range m.Cfg.SmallScales {
+			fmt.Printf("  p=%-6d %.6g s (interpolated)\n", s, res.Small[i])
 		}
+	}
+	for i, s := range res.Scales {
+		if res.Intervals != nil {
+			iv := res.Intervals[i]
+			fmt.Printf("  p=%-6d %.6g s  [%.6g, %.6g] (%s)\n", s, res.Runtimes[i], iv.Lo, iv.Hi, iv.Source)
+			continue
+		}
+		fmt.Printf("  p=%-6d %.6g s\n", s, res.Runtimes[i])
 	}
 }
 

@@ -8,11 +8,17 @@
 // Each -model flag is either a bare path (served under the name
 // "default") or name=path. Endpoints:
 //
-//	POST /v1/predict   {"model":"smg","configs":[[...],[...]],"at":512,"interval":0.1,"small":true}
-//	GET  /v1/models    loaded models, versions, and training metadata
+//	POST /v1/predict   {"model":"smg","configs":[[...],[...]],"at":512,"interval":0.9,"small":true}
+//	POST /v1/observe   {"model":"smg","params":[...],"scale":512,"runtime":12.3} — measured runtimes
+//	GET  /v1/models    loaded models, versions, training and calibration metadata
 //	POST /v1/reload    re-read every model file from disk (also SIGHUP)
 //	GET  /healthz      liveness; 503 until a model is loaded
-//	GET  /metrics      JSON counters: requests, errors, latency, cache
+//	GET  /metrics      JSON counters: requests, errors, latency, cache, drift
+//
+// Observed runtimes feed per-scale rolling windows of empirical interval
+// coverage; when a model's coverage falls below -drift-floor, the
+// embedded pipeline (when enabled) is kicked to retrain it, and the
+// promotion journal records the drift diagnosis as the trigger.
 //
 // SIGHUP hot-reloads the model files without dropping in-flight
 // requests; SIGINT/SIGTERM shut down gracefully, draining for -drain.
@@ -39,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/serving"
+	"repro/internal/uncertainty"
 )
 
 type multiFlag []string
@@ -64,6 +71,11 @@ func main() {
 		pipeSlack    = flag.Float64("pipeline-slack", 0.05, "allowed relative MAPE regression before rejecting a candidate")
 		pipeHoldout  = flag.Int("pipeline-holdout-denom", 5, "hold out 1/D of configurations for the promotion gate")
 		pipeSeed     = flag.Uint64("pipeline-seed", 1, "base random seed for pipeline retraining")
+
+		driftWindow   = flag.Int("drift-window", 256, "rolling window length per (model, scale) for coverage tracking")
+		driftMinObs   = flag.Int("drift-min-obs", 20, "observations a window needs before its coverage is judged")
+		driftCoverage = flag.Float64("drift-coverage", 0.9, "nominal interval coverage observations are scored against")
+		driftFloor    = flag.Float64("drift-floor", 0.75, "empirical-coverage floor below which retraining is kicked")
 	)
 	flag.Parse()
 
@@ -98,7 +110,28 @@ func main() {
 			e.Name, e.Version, e.Generation, from, len(e.Model.ParamNames), e.Model.Mode())
 	}
 
-	srv := serving.New(reg, serving.Options{CacheSize: *cache})
+	opts := serving.Options{
+		CacheSize: *cache,
+		Drift: uncertainty.DriftConfig{
+			Window:          *driftWindow,
+			MinObservations: *driftMinObs,
+			Coverage:        *driftCoverage,
+			Floor:           *driftFloor,
+		},
+	}
+	if p != nil {
+		// Close the loop: a coverage breach on a served model kicks its
+		// retraining cycle, and the journal records the diagnosis.
+		opts.OnDrift = func(model, reason string) {
+			log.Printf("drift: %s: %s — kicking retrain", model, reason)
+			p.KickReason(model, reason)
+		}
+	} else {
+		opts.OnDrift = func(model, reason string) {
+			log.Printf("drift: %s: %s (no pipeline attached; not kicking)", model, reason)
+		}
+	}
+	srv := serving.New(reg, opts)
 	g := serving.NewGraceful(*addr, srv.Handler(), *drain)
 
 	stopPipeline := make(chan struct{})

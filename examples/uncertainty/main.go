@@ -1,10 +1,16 @@
-// Uncertainty: prediction intervals for large-scale runtimes.
+// Uncertainty: conformal vs. ensemble prediction intervals.
 //
 // Point predictions are not enough when a mis-estimate means a blown
-// allocation budget. The two-level model derives a heuristic uncertainty
-// band from its interpolation forests' tree spread — wide where the
-// parameter space is sparsely covered, narrow where history is dense —
-// and this example checks how often the truth lands inside.
+// allocation budget. The model carries two interval mechanisms: a
+// split-conformal calibration (residual quantiles from held-out
+// configurations, finite-sample coverage guarantee under
+// exchangeability) and the interpolation forests' tree spread (a
+// heuristic floor, available even without a calibration set). This
+// example fits a model, calibrates on a held-out slice exactly as the
+// pipeline does, and scores both mechanisms on fresh configurations:
+// empirical coverage against the nominal level, and the price paid in
+// relative band width. The table it prints backs the R-Uncert entry in
+// EXPERIMENTS.md.
 //
 // Run with: go run ./examples/uncertainty
 package main
@@ -16,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hpcsim"
 	"repro/internal/rng"
+	"repro/internal/uncertainty"
 )
 
 func main() {
@@ -24,15 +31,17 @@ func main() {
 	r := rng.New(13)
 
 	cfg := core.DefaultConfig()
-	configs := app.Space().SampleLatinHypercube(r, 400)
+	configs := app.Space().SampleLatinHypercube(r, 360)
+	train, calib := configs[:300], configs[300:]
+
 	history, err := engine.GenerateHistory(app, hpcsim.HistorySpec{
-		Configs: configs, Scales: cfg.SmallScales, Reps: 3,
+		Configs: train, Scales: cfg.SmallScales, Reps: 3,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	anchors, err := engine.GenerateHistory(app, hpcsim.HistorySpec{
-		Configs: configs[:30], Scales: cfg.LargeScales, Reps: 3,
+		Configs: train[:30], Scales: cfg.LargeScales, Reps: 3,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -43,27 +52,69 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fresh := app.Space().SampleLatinHypercube(r, 40)
-	scale := cfg.LargeScales[len(cfg.LargeScales)-1]
-	idx := len(cfg.LargeScales) - 1
-
-	fmt.Printf("CG at p=%d: 10-90%% tree-spread bands for 40 unseen configurations\n\n", scale)
-	fmt.Printf("%30s  %9s  %22s  %8s\n", "config (n, iters, nnzr)", "actual", "predicted band", "inside?")
-	inside := 0
-	for _, c := range fresh {
-		truth, err := engine.Run(app, c, scale, 0)
-		if err != nil {
-			log.Fatal(err)
+	// Split-conformal calibration: residuals of the fitted model on
+	// configurations it never saw, exactly what pipeline promotion does
+	// with its parameter-hash holdout.
+	cal := uncertainty.NewCalibrator(cfg.LargeScales, model.Clusters())
+	for _, c := range calib {
+		preds := model.Predict(c)
+		for i, scale := range cfg.LargeScales {
+			truth, err := engine.Run(app, c, scale, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cal.Add(model.AssignCluster(c), i, preds[i], truth)
 		}
-		iv := model.PredictInterval(c, 0.1)[idx]
-		mark := "no"
-		if truth >= iv.Lo && truth <= iv.Hi {
-			mark = "yes"
-			inside++
-		}
-		label := fmt.Sprintf("n=%.0f iters=%.0f nnzr=%.0f", c[0], c[1], c[2])
-		fmt.Printf("%30s  %8.3fs  [%7.3fs, %7.3fs]  %8s\n", label, truth, iv.Lo, iv.Hi, mark)
 	}
-	fmt.Printf("\nraw band coverage: %d/40 — the band tracks interpolation uncertainty only,\n", inside)
-	fmt.Println("so treat it as a floor on the true uncertainty (see core.PredictInterval docs)")
+	model.Meta.Calibration = cal.Finish()
+	if model.Meta.Calibration == nil {
+		log.Fatal("calibration produced no samples")
+	}
+
+	fresh := app.Space().SampleLatinHypercube(r, 100)
+	truths := make([][]float64, len(fresh))
+	for i, c := range fresh {
+		truths[i] = make([]float64, len(cfg.LargeScales))
+		for j, scale := range cfg.LargeScales {
+			truths[i][j], err = engine.Run(app, c, scale, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fmt.Printf("CG, %d calibration configs, %d fresh test configs\n", len(calib), len(fresh))
+	fmt.Printf("empirical coverage (cov) and mean relative band width (w = (hi-lo)/mid)\n\n")
+	fmt.Printf("%8s  %6s  %18s  %18s\n", "", "", "conformal", "ensemble")
+	fmt.Printf("%8s  %6s  %8s  %8s  %8s  %8s\n", "nominal", "scale", "cov", "w", "cov", "w")
+	for _, nominal := range []float64{0.8, 0.9} {
+		for j, scale := range cfg.LargeScales {
+			var confIn, ensIn int
+			var confW, ensW float64
+			for i, c := range fresh {
+				conf := model.PredictIntervalCov(c, nominal)[j]
+				ens := model.PredictInterval(c, (1-nominal)/2)[j]
+				if conf.Source != core.IntervalConformal {
+					log.Fatalf("p=%d served %s, not conformal", scale, conf.Source)
+				}
+				if t := truths[i][j]; t >= conf.Lo && t <= conf.Hi {
+					confIn++
+				}
+				if t := truths[i][j]; t >= ens.Lo && t <= ens.Hi {
+					ensIn++
+				}
+				confW += (conf.Hi - conf.Lo) / conf.Mid
+				ensW += (ens.Hi - ens.Lo) / ens.Mid
+			}
+			n := float64(len(fresh))
+			fmt.Printf("%8.2f  %6d  %8.2f  %8.2f  %8.2f  %8.2f\n",
+				nominal, scale, float64(confIn)/n, confW/n, float64(ensIn)/n, ensW/n)
+		}
+	}
+	fmt.Println("\nthe conformal bands track their nominal level (up to finite-sample")
+	fmt.Println("wobble) at roughly half the width, because they are calibrated on")
+	fmt.Println("true large-scale residuals; the tree-spread bands are uncalibrated,")
+	fmt.Println("so their empirical coverage is whatever the ensemble variance makes")
+	fmt.Println("it — here 2x-wide bands that over-cover near the anchors and decay")
+	fmt.Println("with scale — and should be read as a shape heuristic, not a level")
 }

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/uncertainty"
+
 // ModelMeta records the provenance a continuous-training pipeline needs
 // to reason about a saved model: which application's history it was
 // fitted on, which pipeline generation produced it, and a content hash
@@ -18,4 +20,10 @@ type ModelMeta struct {
 	// TrainHash is a SHA-256 over the canonical CSV serialization of the
 	// training table, so two models can be compared for "same data".
 	TrainHash string `json:"train_hash,omitempty"`
+	// Calibration is the split-conformal calibration computed on the
+	// pipeline's holdout slice for this generation, or nil when the model
+	// was trained without one (cmd/train, or an empty holdout). Persisting
+	// it here means intervals and the model that produced them hot-swap
+	// as one atomic unit.
+	Calibration *uncertainty.Calibration `json:"calibration,omitempty"`
 }

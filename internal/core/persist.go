@@ -143,5 +143,8 @@ func (m *TwoLevelModel) validateLoaded() error {
 	if m.Centroids == nil && len(m.ClusterModels) != 1 {
 		return fmt.Errorf("core: multiple cluster models without centroids")
 	}
+	if err := m.Meta.Calibration.Validate(); err != nil {
+		return err
+	}
 	return nil
 }

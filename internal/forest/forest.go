@@ -265,22 +265,58 @@ func (f *Forest) PredictBatchParallel(x *mat.Dense, dst []float64, workers int) 
 // PredictQuantile returns the q-quantile of per-tree predictions for v,
 // a cheap prediction-uncertainty proxy.
 func (f *Forest) PredictQuantile(v []float64, q float64) float64 {
-	if q < 0 || q > 1 {
-		panic("forest: quantile outside [0,1]")
+	var dst [1]float64
+	f.PredictQuantilesInto(v, []float64{q}, nil, dst[:])
+	return dst[0]
+}
+
+// PredictQuantilesInto walks the ensemble once and fills dst[i] with the
+// qs[i]-quantile of per-tree predictions for v, returning the ensemble
+// mean. preds is scratch of length >= len(f.Trees); nil allocates. With
+// non-nil scratch the call performs no allocations, so interval serving
+// pays one tree-walk per forest instead of one per quantile.
+//
+// The mean is accumulated in tree order before the scratch is sorted,
+// keeping it bit-identical to Predict (sorting would change float
+// summation order).
+func (f *Forest) PredictQuantilesInto(v, qs, preds, dst []float64) float64 {
+	if len(v) != f.Features {
+		panic(fmt.Sprintf("forest: predict with %d features, forest has %d", len(v), f.Features))
 	}
-	preds := make([]float64, len(f.Trees))
+	if len(dst) < len(qs) {
+		panic("forest: quantile dst shorter than qs")
+	}
+	for _, q := range qs {
+		if q < 0 || q > 1 {
+			panic("forest: quantile outside [0,1]")
+		}
+	}
+	if preds == nil {
+		preds = make([]float64, len(f.Trees))
+	} else if len(preds) < len(f.Trees) {
+		panic("forest: quantile scratch shorter than tree count")
+	}
+	preds = preds[:len(f.Trees)]
+	var s float64
 	for i, t := range f.Trees {
-		preds[i] = t.Predict(v)
+		p := t.Predict(v)
+		preds[i] = p
+		s += p
 	}
+	mean := s / float64(len(f.Trees))
 	sort.Float64s(preds)
-	pos := q * float64(len(preds)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return preds[lo]
+	for i, q := range qs {
+		pos := q * float64(len(preds)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			dst[i] = preds[lo]
+			continue
+		}
+		frac := pos - float64(lo)
+		dst[i] = preds[lo]*(1-frac) + preds[hi]*frac
 	}
-	frac := pos - float64(lo)
-	return preds[lo]*(1-frac) + preds[hi]*frac
+	return mean
 }
 
 // OOBError returns the out-of-bag mean squared error, the forest's internal

@@ -316,3 +316,76 @@ func BenchmarkForestPredictBatch(b *testing.B) {
 		f.PredictBatch(x, dst)
 	}
 }
+
+func TestPredictQuantilesIntoMatchesSingleCalls(t *testing.T) {
+	r := rng.New(9)
+	x, y := friedman(r, 200)
+	p := Defaults()
+	p.Trees = 25
+	f := Fit(x, y, p, r)
+	probe := []float64{0.3, 0.6, 0.2, 0.9, 0.5, 0.1}
+
+	qs := []float64{0.05, 0.25, 0.5, 0.75, 0.95}
+	dst := make([]float64, len(qs))
+	scratch := make([]float64, len(f.Trees))
+	mean := f.PredictQuantilesInto(probe, qs, scratch, dst)
+
+	if mean != f.Predict(probe) {
+		t.Fatalf("mean %v != Predict %v (must be bit-identical)", mean, f.Predict(probe))
+	}
+	for i, q := range qs {
+		if want := f.PredictQuantile(probe, q); dst[i] != want {
+			t.Fatalf("quantile %v: %v != PredictQuantile %v", q, dst[i], want)
+		}
+	}
+	// Nil scratch allocates internally but gives the same answers.
+	dst2 := make([]float64, len(qs))
+	f.PredictQuantilesInto(probe, qs, nil, dst2)
+	for i := range dst {
+		if dst[i] != dst2[i] {
+			t.Fatal("nil-scratch path diverges")
+		}
+	}
+}
+
+func TestPredictQuantilesIntoZeroAllocs(t *testing.T) {
+	r := rng.New(10)
+	x, y := friedman(r, 150)
+	p := Defaults()
+	p.Trees = 20
+	f := Fit(x, y, p, r)
+	probe := []float64{0.3, 0.6, 0.2, 0.9, 0.5, 0.1}
+	qs := []float64{0.1, 0.9}
+	dst := make([]float64, 2)
+	scratch := make([]float64, len(f.Trees))
+	allocs := testing.AllocsPerRun(50, func() {
+		f.PredictQuantilesInto(probe, qs, scratch, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictQuantilesInto with scratch allocates %v per call", allocs)
+	}
+}
+
+func TestPredictQuantilesIntoPanics(t *testing.T) {
+	r := rng.New(11)
+	x, y := friedman(r, 100)
+	p := Defaults()
+	p.Trees = 10
+	f := Fit(x, y, p, r)
+	probe := []float64{0.3, 0.6, 0.2, 0.9, 0.5, 0.1}
+	for name, fn := range map[string]func(){
+		"bad quantile":   func() { f.PredictQuantilesInto(probe, []float64{1.5}, nil, make([]float64, 1)) },
+		"short dst":      func() { f.PredictQuantilesInto(probe, []float64{0.1, 0.9}, nil, make([]float64, 1)) },
+		"short scratch":  func() { f.PredictQuantilesInto(probe, []float64{0.1}, make([]float64, 2), make([]float64, 1)) },
+		"wrong features": func() { f.PredictQuantilesInto([]float64{1}, []float64{0.1}, nil, make([]float64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

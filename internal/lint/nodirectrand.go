@@ -28,6 +28,7 @@ var randRestrictedPkgs = []string{
 	"internal/baselines",
 	"internal/stats",
 	"internal/mat",
+	"internal/uncertainty",
 }
 
 // forbiddenRandImports are the generators that would silently break

@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// runBootstrapCycle builds a fresh pipeline over the seeded fixture
+// store and runs the bootstrap promotion, returning the promoted model
+// path and the pipeline.
+func runBootstrapCycle(t *testing.T) (string, *Pipeline) {
+	t.Helper()
+	store := newSeededStore(t, t.TempDir())
+	p, err := New(store, t.TempDir(), testPipelineConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunOnce(testApp, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Promoted {
+		t.Fatalf("bootstrap cycle did not promote: %+v", res)
+	}
+	return res.Path, p
+}
+
+// TestPromotedModelCarriesCalibration: a pipeline-trained generation
+// ships with a holdout-derived conformal calibration that survives the
+// save/load round trip and can answer interval requests.
+func TestPromotedModelCarriesCalibration(t *testing.T) {
+	path, p := runBootstrapCycle(t)
+	m, err := core.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := m.Meta.Calibration
+	if cal == nil {
+		t.Fatal("promoted model has no calibration")
+	}
+	if err := cal.Validate(); err != nil {
+		t.Fatalf("persisted calibration invalid: %v", err)
+	}
+	for _, sc := range cal.Pooled {
+		found := false
+		for _, s := range testLarge {
+			if sc.Scale == s {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("calibration carries unknown scale %d", sc.Scale)
+		}
+	}
+	min, total := cal.Samples()
+	if min < 1 || total < len(testLarge) {
+		t.Fatalf("calibration too thin: min %d total %d", min, total)
+	}
+
+	// The journal must record why the cycle ran.
+	entries := p.Journal().Entries()
+	if len(entries) == 0 || entries[0].Trigger == "" {
+		t.Fatalf("journal entry missing trigger: %+v", entries)
+	}
+}
+
+// TestCalibrationRerunByteIdentical: two pipelines over the same records
+// produce byte-identical model files including the calibration artifact
+// — the subsystem keeps the repo's determinism invariant.
+func TestCalibrationRerunByteIdentical(t *testing.T) {
+	pathA, _ := runBootstrapCycle(t)
+	pathB, _ := runBootstrapCycle(t)
+	a, err := os.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("calibrated model files differ across identical reruns")
+	}
+	if !bytes.Contains(a, []byte(`"calibration"`)) {
+		t.Fatal("model file does not embed the calibration artifact")
+	}
+}

@@ -40,6 +40,11 @@ type Entry struct {
 	// Gate carries the verdict's evidence for promoted/rejected events.
 	Gate *GateResult `json:"gate,omitempty"`
 
+	// Trigger records why the cycle ran: the record-count policy, a plain
+	// kick, or a drift kick carrying the breach diagnosis — so a promoted
+	// generation is traceable to the signal that caused it.
+	Trigger string `json:"trigger,omitempty"`
+
 	// Time is an RFC 3339 timestamp stamped by the CLI boundary; empty in
 	// deterministic (test, replay) runs.
 	Time string `json:"time,omitempty"`

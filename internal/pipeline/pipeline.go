@@ -127,6 +127,11 @@ func (p *Pipeline) Promoter() *Promoter { return p.prom }
 // many records arrived.
 func (p *Pipeline) Kick(app string) { p.trigger.Kick(app) }
 
+// KickReason forces the next RunOnce for app to retrain and records why,
+// so the cycle's journal entry names the signal (e.g. a drift monitor's
+// coverage-breach diagnosis).
+func (p *Pipeline) KickReason(app, reason string) { p.trigger.KickReason(app, reason) }
+
 // Rollback reverts app to the generation promoted before the currently
 // active one and journals the event. now is an optional timestamp
 // stamped by the caller (the CLI boundary); empty keeps the journal
@@ -188,13 +193,20 @@ func (p *Pipeline) RunOnce(app, now string) (*CycleResult, error) {
 		res.Gate = GateResult{Reason: fmt.Sprintf("fit: %v", err)}
 		if jerr := p.journal.Append(Entry{
 			Gen: gen, App: app, Event: EventRejected,
-			Reason: res.Gate.Reason, Records: count, Time: now,
+			Reason: res.Gate.Reason, Records: count, Trigger: why, Time: now,
 		}); jerr != nil {
 			return nil, jerr
 		}
 		p.trigger.Mark(app, count)
 		return res, nil
 	}
+
+	// Calibrate conformal intervals on the same holdout slice the gate
+	// judges with: data the candidate never trained on, which is exactly
+	// the exchangeability split-conformal needs. The artifact rides in
+	// the model's metadata so it promotes (and hot-swaps) atomically with
+	// the generation it describes.
+	cand.Meta.Calibration = calibrate(cand, holdout)
 
 	inc, incGen, err := p.prom.ActiveModel(app)
 	if err != nil {
@@ -209,6 +221,7 @@ func (p *Pipeline) RunOnce(app, now string) (*CycleResult, error) {
 		TrainHash: cand.Meta.TrainHash,
 		Incumbent: incGen,
 		Gate:      &res.Gate,
+		Trigger:   why,
 		Time:      now,
 	}
 	if !res.Gate.Promote {

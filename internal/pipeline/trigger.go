@@ -15,8 +15,8 @@ type Trigger struct {
 	minNew int
 
 	mu     sync.Mutex
-	kicked map[string]bool
-	seen   map[string]int // store record count at the last handled cycle
+	kicked map[string]string // app -> kick reason
+	seen   map[string]int    // store record count at the last handled cycle
 }
 
 // NewTrigger builds a trigger firing after minNew new records (>= 1).
@@ -24,7 +24,7 @@ func NewTrigger(minNew int) *Trigger {
 	if minNew < 1 {
 		minNew = 1
 	}
-	return &Trigger{minNew: minNew, kicked: map[string]bool{}, seen: map[string]int{}}
+	return &Trigger{minNew: minNew, kicked: map[string]string{}, seen: map[string]int{}}
 }
 
 // Prime seeds the last-handled record count for app, used to rebuild
@@ -38,10 +38,18 @@ func (t *Trigger) Prime(app string, count int) {
 }
 
 // Kick forces the next Due check for app to fire.
-func (t *Trigger) Kick(app string) {
+func (t *Trigger) Kick(app string) { t.KickReason(app, "") }
+
+// KickReason forces the next Due check for app to fire and records why
+// (e.g. a drift monitor's breach diagnosis) so the journal can name the
+// signal. An existing pending reason is kept: the first cause wins until
+// the cycle consumes it.
+func (t *Trigger) KickReason(app, reason string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.kicked[app] = true
+	if cur, ok := t.kicked[app]; !ok || cur == "" {
+		t.kicked[app] = reason
+	}
 }
 
 // Due reports whether app should retrain given its current record
@@ -49,8 +57,11 @@ func (t *Trigger) Kick(app string) {
 func (t *Trigger) Due(app string, count int) (bool, string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.kicked[app] {
-		return true, "kicked"
+	if reason, ok := t.kicked[app]; ok {
+		if reason == "" {
+			return true, "kicked"
+		}
+		return true, "kicked: " + reason
 	}
 	fresh := count - t.seen[app]
 	if fresh >= t.minNew {

@@ -7,6 +7,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/uncertainty"
 )
 
 // serveOnce drives one request through the full handler stack, reusing
@@ -93,5 +96,59 @@ func BenchmarkServePredict(b *testing.B) {
 		}
 		body, _ := json.Marshal(PredictRequest{Configs: cfgs})
 		run(b, s, body, func(int) []byte { return body })
+	})
+}
+
+// BenchmarkServePredictInterval measures interval-carrying predictions
+// through the full handler path, cache-miss regime (an interval request
+// does the extra per-tree quantile or conformal-factor work on every
+// miss; hits collapse to the same cached-encode path as point requests).
+// The conformal variant serves a calibrated copy of the fixture model,
+// the ensemble variant the uncalibrated original.
+func BenchmarkServePredictInterval(b *testing.B) {
+	m, params := testModel(b)
+	p := params[0]
+
+	bodies := func() [][]byte {
+		out := make([][]byte, 0, 4096)
+		for i := 0; i < 4096; i++ {
+			q := append([]float64(nil), p...)
+			q[0] += float64(i) * 1e-3
+			raw, _ := json.Marshal(PredictRequest{Params: q, Interval: 0.9})
+			out = append(out, raw)
+		}
+		return out
+	}()
+
+	run := func(b *testing.B, s *Server) {
+		d := newServeOnce(s)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.do(b, bodies[i%len(bodies)])
+		}
+	}
+
+	b.Run("ensemble-miss", func(b *testing.B) {
+		reg := NewRegistry()
+		reg.Install("default", m)
+		run(b, New(reg, Options{CacheSize: 16}))
+	})
+
+	b.Run("conformal-miss", func(b *testing.B) {
+		cal := uncertainty.NewCalibrator(m.Cfg.LargeScales, m.Clusters())
+		r := rng.New(7)
+		for i := 0; i < 40*len(m.Cfg.LargeScales); i++ {
+			pred := 50 + 10*r.Float64()
+			cal.Add(i%m.Clusters(), i%len(m.Cfg.LargeScales), pred, pred*(1+0.2*(r.Float64()-0.5)))
+		}
+		cm := *m
+		cm.Meta.Calibration = cal.Finish()
+		if cm.Meta.Calibration == nil {
+			b.Fatal("nil calibration")
+		}
+		reg := NewRegistry()
+		reg.Install("default", &cm)
+		run(b, New(reg, Options{CacheSize: 16}))
 	})
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/uncertainty"
 )
 
 // maxBatch bounds one request's configuration count; larger batches get
@@ -32,6 +33,15 @@ type Options struct {
 	// /v1/predict batch; <= 0 means GOMAXPROCS. Results are always
 	// index-ordered regardless of worker count. 1 forces serial batches.
 	BatchWorkers int
+
+	// Drift configures the per-model drift monitors fed by /v1/observe;
+	// zero fields take uncertainty.DriftConfig's defaults.
+	Drift uncertainty.DriftConfig
+
+	// OnDrift, when set, is invoked once per coverage-breach episode per
+	// model with the breach diagnosis — the hook that kicks the
+	// retraining pipeline. It runs on the /v1/observe request goroutine.
+	OnDrift func(model, reason string)
 }
 
 // DefaultCacheSize is the prediction-cache capacity used by DefaultOptions.
@@ -48,6 +58,7 @@ type Server struct {
 	metrics      *Metrics
 	mux          *http.ServeMux
 	batchWorkers int
+	drift        *uncertainty.MonitorSet
 }
 
 // New builds a Server over a registry.
@@ -59,7 +70,14 @@ func New(reg *Registry, opts Options) *Server {
 		mux:          http.NewServeMux(),
 		batchWorkers: opts.BatchWorkers,
 	}
+	s.drift = uncertainty.NewMonitorSet(opts.Drift, func(model, reason string) {
+		s.metrics.driftKicks.Add(1)
+		if opts.OnDrift != nil {
+			opts.OnDrift(model, reason)
+		}
+	})
 	s.mux.Handle("POST /v1/predict", s.instrument("predict", s.handlePredict))
+	s.mux.Handle("POST /v1/observe", s.instrument("observe", s.handleObserve))
 	s.mux.Handle("GET /v1/models", s.instrument("models", s.handleModels))
 	s.mux.Handle("POST /v1/reload", s.instrument("reload", s.handleReload))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -93,8 +111,12 @@ type PredictRequest struct {
 	// target scale in anchored mode (basis mode accepts any scale >= 1).
 	At int `json:"at,omitempty"`
 
-	// Interval, when in (0, 0.5), adds heuristic prediction intervals at
-	// quantile Interval per target scale. Incompatible with At.
+	// Interval, when in (0, 1), adds prediction intervals per target
+	// scale: values in [0.5, 1) are a coverage level (0.9 → a 90% band,
+	// conformal when the model carries calibration), values in (0, 0.5)
+	// the legacy tail-quantile form (0.1 ≡ coverage 0.8); see
+	// core.NormalizeCoverage. Incompatible with At. The handler rewrites
+	// the field to the normalized coverage after validation.
 	Interval float64 `json:"interval,omitempty"`
 
 	// Small adds the interpolated small-scale curve to each result.
@@ -134,10 +156,17 @@ type ModelInfo struct {
 	Clusters     int       `json:"clusters"`
 	TrainConfigs int       `json:"train_configs"`
 	Anchors      int       `json:"anchors"`
+
+	// Calibrated reports whether the generation carries split-conformal
+	// calibration (interval requests answer with a coverage guarantee);
+	// CalibrationSamples is its total holdout residual count.
+	Calibrated         bool `json:"calibrated"`
+	CalibrationSamples int  `json:"calibration_samples,omitempty"`
 }
 
 func modelInfo(e *Entry) ModelInfo {
 	m := e.Model
+	_, calSamples := m.Meta.Calibration.Samples()
 	return ModelInfo{
 		Name:         e.Name,
 		Version:      e.Version,
@@ -152,6 +181,9 @@ func modelInfo(e *Entry) ModelInfo {
 		Clusters:     m.Clusters(),
 		TrainConfigs: m.TrainConfigs,
 		Anchors:      m.Anchors,
+
+		Calibrated:         m.Meta.Calibration != nil,
+		CalibrationSamples: calSamples,
 	}
 }
 
@@ -202,14 +234,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	case req.At != 0 && req.At < 1:
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("at=%d must be >= 1", req.At))
 		return
+	}
 	//lint:allow floateq -- exact sentinel: 0 is the JSON zero value marking an unset interval field
-	case req.Interval != 0 && (req.Interval <= 0 || req.Interval >= 0.5):
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("interval=%v must be in (0, 0.5)", req.Interval))
-		return
-	//lint:allow floateq -- exact sentinel: 0 is the JSON zero value marking an unset interval field
-	case req.Interval != 0 && req.At != 0:
-		writeError(w, http.StatusBadRequest, "interval is incompatible with at; request all target scales")
-		return
+	if req.Interval != 0 {
+		if req.At != 0 {
+			writeError(w, http.StatusBadRequest, "interval is incompatible with at; request all target scales")
+			return
+		}
+		cov, err := core.NormalizeCoverage(req.Interval)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		// Rewrite to the normalized coverage so the cache key and the
+		// model call see one canonical form (0.1 and 0.8 hit one entry).
+		req.Interval = cov
+		s.metrics.intervalRequests.Add(1)
 	}
 	want := len(entry.Model.ParamNames)
 	for i, cfg := range configs {
@@ -318,7 +358,9 @@ func computeResult(m *core.TwoLevelModel, req *PredictRequest, cfg []float64) (*
 	res.Scales = m.Cfg.LargeScales
 	res.Runtimes = m.Predict(cfg)
 	if req.Interval > 0 {
-		res.Intervals = m.PredictInterval(cfg, req.Interval)
+		// Interval is a normalized coverage by here (see handlePredict);
+		// calibrated models answer conformally, others from tree spread.
+		res.Intervals = m.PredictIntervalCov(cfg, req.Interval)
 	}
 	return res, nil
 }
@@ -382,7 +424,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.reg))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.reg, s.drift))
 }
 
 // ---- plumbing ----

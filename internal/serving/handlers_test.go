@@ -13,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/core"
 )
 
 // doJSON posts a body (or GETs when body is nil) and decodes the reply.
@@ -100,14 +102,49 @@ func TestPredictBatchOptionsAndCaching(t *testing.T) {
 func TestPredictIntervals(t *testing.T) {
 	s, _, m, params := newTestServer(t, DefaultOptions())
 	p := params[1]
-	var resp PredictResponse
-	code := doJSON(t, s.Handler(), "POST", "/v1/predict", PredictRequest{Params: p, Interval: 0.1}, &resp)
+	// Legacy tail-quantile form (0.1) and coverage form (0.8) are one
+	// request: both normalize to coverage 0.8 and answer identically.
+	for _, interval := range []float64{0.1, 0.8} {
+		var resp PredictResponse
+		code := doJSON(t, s.Handler(), "POST", "/v1/predict", PredictRequest{Params: p, Interval: interval}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("interval=%v: status %d", interval, code)
+		}
+		cov, err := core.NormalizeCoverage(interval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.PredictIntervalCov(p, cov)
+		if !reflect.DeepEqual(resp.Results[0].Intervals, want) {
+			t.Fatalf("interval=%v: intervals %+v, want %+v", interval, resp.Results[0].Intervals, want)
+		}
+		for _, iv := range resp.Results[0].Intervals {
+			if iv.Source != core.IntervalEnsemble {
+				t.Fatalf("uncalibrated fixture served source %q", iv.Source)
+			}
+		}
+	}
+}
+
+// TestPredictWithoutIntervalOmitsIntervals pins the backward-compat
+// contract: a request without the interval field gets the pre-interval
+// point-only response shape.
+func TestPredictWithoutIntervalOmitsIntervals(t *testing.T) {
+	s, _, _, params := newTestServer(t, DefaultOptions())
+	var raw map[string]json.RawMessage
+	code := doJSON(t, s.Handler(), "POST", "/v1/predict", PredictRequest{Params: params[0]}, &raw)
 	if code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	want := m.PredictInterval(p, 0.1)
-	if !reflect.DeepEqual(resp.Results[0].Intervals, want) {
-		t.Fatalf("intervals %+v, want %+v", resp.Results[0].Intervals, want)
+	var results []map[string]json.RawMessage
+	if err := json.Unmarshal(raw["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := results[0]["intervals"]; present {
+		t.Fatal("point-only request serialized an intervals field")
+	}
+	if _, present := results[0]["runtimes"]; !present {
+		t.Fatal("response missing runtimes")
 	}
 }
 
@@ -122,7 +159,8 @@ func TestPredictValidation(t *testing.T) {
 		{"no configs", PredictRequest{}, http.StatusBadRequest},
 		{"wrong arity", PredictRequest{Params: p[:len(p)-1]}, http.StatusBadRequest},
 		{"unknown model", PredictRequest{Model: "nope", Params: p}, http.StatusNotFound},
-		{"bad interval", PredictRequest{Params: p, Interval: 0.7}, http.StatusBadRequest},
+		{"bad interval", PredictRequest{Params: p, Interval: 1.5}, http.StatusBadRequest},
+		{"negative interval", PredictRequest{Params: p, Interval: -0.1}, http.StatusBadRequest},
 		{"interval with at", PredictRequest{Params: p, At: m.Cfg.LargeScales[0], Interval: 0.1}, http.StatusBadRequest},
 		{"negative at", PredictRequest{Params: p, At: -3}, http.StatusBadRequest},
 		{"non-target at (anchored)", PredictRequest{Params: p, At: 77}, http.StatusBadRequest},
@@ -326,7 +364,7 @@ func TestConcurrentLoadAndHotReload(t *testing.T) {
 	if e.Version < 2 {
 		t.Fatalf("no hot-swap happened: version %d", e.Version)
 	}
-	snap := s.Metrics().Snapshot(s.Cache(), reg)
+	snap := s.Metrics().Snapshot(s.Cache(), reg, nil)
 	if snap.RequestsTotal < clients*perClient {
 		t.Fatalf("requests_total %d < %d", snap.RequestsTotal, clients*perClient)
 	}
@@ -419,7 +457,7 @@ func TestPanicRecovery(t *testing.T) {
 	if w.Code != http.StatusInternalServerError {
 		t.Fatalf("status %d", w.Code)
 	}
-	snap := s.Metrics().Snapshot(s.Cache(), reg)
+	snap := s.Metrics().Snapshot(s.Cache(), reg, nil)
 	if snap.PanicsTotal != 1 || snap.Endpoints["other"].Errors != 1 {
 		t.Fatalf("snapshot after panic %+v", snap)
 	}

@@ -3,6 +3,8 @@ package serving
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/uncertainty"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds) of the fixed
@@ -78,14 +80,17 @@ type endpointStats struct {
 // per-endpoint map is built once at construction and only read
 // afterwards, so no lock is ever taken on the request path.
 type Metrics struct {
-	start       time.Time
-	endpoints   map[string]*endpointStats
-	predictions atomic.Int64 // configurations predicted (batch-aware)
-	panics      atomic.Int64
+	start            time.Time
+	endpoints        map[string]*endpointStats
+	predictions      atomic.Int64 // configurations predicted (batch-aware)
+	panics           atomic.Int64
+	intervalRequests atomic.Int64 // /v1/predict requests asking for intervals
+	observations     atomic.Int64 // runtimes ingested via /v1/observe (batch-aware)
+	driftKicks       atomic.Int64 // coverage-breach episodes that kicked retraining
 }
 
 // metricEndpoints are the route labels instrumented by the server.
-var metricEndpoints = []string{"predict", "models", "reload", "healthz", "metrics", "other"}
+var metricEndpoints = []string{"predict", "observe", "models", "reload", "healthz", "metrics", "other"}
 
 // NewMetrics creates a metrics accumulator.
 func NewMetrics() *Metrics {
@@ -133,6 +138,17 @@ type PipelineSnapshot struct {
 	LastPromotion *PromotionStatus `json:"last_promotion,omitempty"`
 }
 
+// UncertaintySnapshot summarizes interval serving and drift monitoring:
+// how many predictions carried bands, how many measured runtimes came
+// back, how often coverage breached, and each model's rolling per-scale
+// coverage/MAPE windows.
+type UncertaintySnapshot struct {
+	IntervalRequests int64                         `json:"interval_requests"`
+	Observations     int64                         `json:"observations"`
+	DriftKicks       int64                         `json:"drift_kicks"`
+	Monitors         []uncertainty.MonitorSnapshot `json:"monitors,omitempty"`
+}
+
 // Snapshot is the JSON document served on /metrics.
 type Snapshot struct {
 	UptimeSeconds    float64                     `json:"uptime_seconds"`
@@ -145,13 +161,15 @@ type Snapshot struct {
 	ModelStatus      []ModelStatus               `json:"model_status,omitempty"`
 	LastReload       *ReloadStatus               `json:"last_reload,omitempty"`
 	Pipeline         *PipelineSnapshot           `json:"pipeline,omitempty"`
+	Uncertainty      *UncertaintySnapshot        `json:"uncertainty,omitempty"`
 	Cache            CacheStats                  `json:"cache"`
 	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
 }
 
-// Snapshot captures every counter; cache and registry state are sampled
-// from the collaborators so the document is assembled in one place.
-func (m *Metrics) Snapshot(cache *Cache, reg *Registry) Snapshot {
+// Snapshot captures every counter; cache, registry, and drift-monitor
+// state are sampled from the collaborators so the document is assembled
+// in one place. drift may be nil.
+func (m *Metrics) Snapshot(cache *Cache, reg *Registry, drift *uncertainty.MonitorSet) Snapshot {
 	s := Snapshot{
 		UptimeSeconds:    time.Since(m.start).Seconds(),
 		PredictionsTotal: m.predictions.Load(),
@@ -186,6 +204,17 @@ func (m *Metrics) Snapshot(cache *Cache, reg *Registry) Snapshot {
 				LastPromotion: last,
 			}
 		}
+	}
+	u := UncertaintySnapshot{
+		IntervalRequests: m.intervalRequests.Load(),
+		Observations:     m.observations.Load(),
+		DriftKicks:       m.driftKicks.Load(),
+	}
+	if drift != nil {
+		u.Monitors = drift.Snapshot()
+	}
+	if u.IntervalRequests+u.Observations+u.DriftKicks > 0 || len(u.Monitors) > 0 {
+		s.Uncertainty = &u
 	}
 	return s
 }

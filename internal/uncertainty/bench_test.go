@@ -1,0 +1,68 @@
+package uncertainty
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// BenchmarkConformalCalibrate measures building a calibration artifact
+// from a realistic holdout slice (3 clusters, 2 target scales, ~120
+// residual pairs) — the per-generation pipeline cost.
+func BenchmarkConformalCalibrate(b *testing.B) {
+	r := rng.New(42)
+	type sample struct {
+		cluster, scaleIdx int
+		pred, actual      float64
+	}
+	samples := make([]sample, 120)
+	for i := range samples {
+		p, a := syntheticPair(r, 0.3)
+		samples[i] = sample{cluster: i % 3, scaleIdx: i % 2, pred: p, actual: a}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cal := NewCalibrator([]int{128, 256}, 3)
+		for _, s := range samples {
+			cal.Add(s.cluster, s.scaleIdx, s.pred, s.actual)
+		}
+		if cal.Finish() == nil {
+			b.Fatal("nil calibration")
+		}
+	}
+}
+
+// BenchmarkConformalFactor measures the serve-time interval lookup: one
+// quantile read per requested (cluster, scale, coverage).
+func BenchmarkConformalFactor(b *testing.B) {
+	r := rng.New(42)
+	cal := NewCalibrator([]int{128, 256, 512}, 3)
+	for i := 0; i < 300; i++ {
+		p, a := syntheticPair(r, 0.3)
+		cal.Add(i%3, i%3, p, a)
+	}
+	c := cal.Finish()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Factor(i%3, 256, 0.9); !ok {
+			b.Fatal("no factor")
+		}
+	}
+}
+
+// BenchmarkMonitorObserve measures the /v1/observe hot path: one ring
+// push plus the breach re-evaluation.
+func BenchmarkMonitorObserve(b *testing.B) {
+	m := NewMonitor(DriftConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		actual := 100.0
+		if i%10 == 0 {
+			actual = 130.0
+		}
+		m.Observe(128+(i%3)*128, 100, 90, 110, actual)
+	}
+}

@@ -1,0 +1,211 @@
+package uncertainty
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// syntheticPair draws one (predicted, actual) runtime pair: a smooth
+// "true" surface evaluated at a random point, with multiplicative
+// lognormal measurement noise on the actual. The predictor knows the
+// surface but not the noise — exactly the split-conformal setting.
+func syntheticPair(r *rng.Source, sigma float64) (predicted, actual float64) {
+	x := r.Uniform(1, 10)
+	base := 3*x + 0.5*x*x
+	return base, base * r.LogNormal(0, sigma)
+}
+
+// TestConformalCoverageProperty is the headline guarantee: intervals
+// calibrated on a seeded synthetic holdout achieve empirical coverage
+// within ±5 points of nominal at 0.8 and 0.9 on fresh draws from the
+// same distribution. Fully deterministic (fixed rng stream).
+func TestConformalCoverageProperty(t *testing.T) {
+	const (
+		calN  = 400
+		testN = 4000
+		sigma = 0.25
+	)
+	for _, coverage := range []float64{0.8, 0.9} {
+		r := rng.New(1234)
+		cal := NewCalibrator([]int{1024}, 1)
+		for i := 0; i < calN; i++ {
+			p, a := syntheticPair(r, sigma)
+			cal.Add(0, 0, p, a)
+		}
+		c := cal.Finish()
+		if c == nil {
+			t.Fatal("calibration is nil")
+		}
+		f, ok := c.Factor(0, 1024, coverage)
+		if !ok {
+			t.Fatalf("coverage %v: no factor from %d samples", coverage, calN)
+		}
+		if f <= 1 {
+			t.Fatalf("coverage %v: factor %v <= 1", coverage, f)
+		}
+		hits := 0
+		for i := 0; i < testN; i++ {
+			p, a := syntheticPair(r, sigma)
+			if a >= p/f && a <= p*f {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(testN)
+		if math.Abs(got-coverage) > 0.05 {
+			t.Fatalf("nominal %.2f: empirical coverage %.3f off by more than 5 points", coverage, got)
+		}
+	}
+}
+
+// TestConformalQuantile pins the order-statistic rule and its
+// too-few-samples refusal.
+func TestConformalQuantile(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	// n=9: coverage 0.8 -> k = ceil(10*0.8) = 8 -> scores[7].
+	q, ok := ConformalQuantile(scores, 0.8)
+	if !ok || q != 0.8 {
+		t.Fatalf("q=%v ok=%v, want 0.8 true", q, ok)
+	}
+	// coverage 0.9 -> k = ceil(10*0.9) = 9 -> scores[8].
+	q, ok = ConformalQuantile(scores, 0.9)
+	if !ok || q != 0.9 {
+		t.Fatalf("q=%v ok=%v, want 0.9 true", q, ok)
+	}
+	// coverage 0.95 -> k = ceil(10*0.95) = 10 > 9: refused.
+	if _, ok := ConformalQuantile(scores, 0.95); ok {
+		t.Fatal("9 samples certified coverage 0.95")
+	}
+	if _, ok := ConformalQuantile(nil, 0.8); ok {
+		t.Fatal("empty scores certified coverage")
+	}
+	if _, ok := ConformalQuantile(scores, 0); ok {
+		t.Fatal("coverage 0 accepted")
+	}
+	if _, ok := ConformalQuantile(scores, 1); ok {
+		t.Fatal("coverage 1 accepted")
+	}
+}
+
+// TestFactorClusterFallback checks the per-cluster preference and the
+// pooled fallback when a cluster is thin.
+func TestFactorClusterFallback(t *testing.T) {
+	cal := NewCalibrator([]int{128, 256}, 2)
+	// Cluster 0: plenty of small residuals at scale 128.
+	for i := 0; i < 20; i++ {
+		cal.Add(0, 0, 100, 100*math.Exp(0.01*float64(i+1)))
+	}
+	// Cluster 1: two residuals at scale 128 — too thin for 0.8.
+	cal.Add(1, 0, 100, 150)
+	cal.Add(1, 0, 100, 160)
+	// Scale 256: pooled-only data via cluster 0.
+	for i := 0; i < 20; i++ {
+		cal.Add(0, 1, 100, 100*math.Exp(0.05*float64(i+1)))
+	}
+	c := cal.Finish()
+
+	f0, ok := c.Factor(0, 128, 0.8)
+	if !ok {
+		t.Fatal("cluster 0 at 128: no factor")
+	}
+	// Cluster 1 is too thin: must fall back to pooled (which includes
+	// cluster 1's big residuals, so the factor differs from cluster 0's).
+	f1, ok := c.Factor(1, 128, 0.8)
+	if !ok {
+		t.Fatal("cluster 1 at 128: no pooled fallback")
+	}
+	if f1 <= f0 {
+		t.Fatalf("pooled fallback factor %v should exceed tight cluster 0 factor %v", f1, f0)
+	}
+	// Out-of-range cluster ids fall back to pooled rather than exploding.
+	if _, ok := c.Factor(99, 128, 0.8); !ok {
+		t.Fatal("out-of-range cluster did not fall back to pooled")
+	}
+	// Unknown scale: nothing to answer with.
+	if _, ok := c.Factor(0, 512, 0.8); ok {
+		t.Fatal("uncalibrated scale produced a factor")
+	}
+}
+
+// TestCalibratorDeterminism: two identical Add sequences marshal to
+// byte-identical artifacts (the pipeline's rerun guarantee relies on
+// this).
+func TestCalibratorDeterminism(t *testing.T) {
+	build := func() []byte {
+		r := rng.New(7)
+		cal := NewCalibrator([]int{128, 256, 512}, 3)
+		for i := 0; i < 60; i++ {
+			p, a := syntheticPair(r, 0.3)
+			cal.Add(i%3, i%3, p, a)
+		}
+		raw, err := json.Marshal(cal.Finish())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical calibrations marshal differently")
+	}
+}
+
+func TestCalibratorEmptyFinish(t *testing.T) {
+	if c := NewCalibrator([]int{128}, 1).Finish(); c != nil {
+		t.Fatalf("empty calibrator produced %+v", c)
+	}
+}
+
+func TestCalibrationValidate(t *testing.T) {
+	good := &Calibration{Pooled: []ScaleCalib{{Scale: 128, Scores: []float64{0.1, 0.2}}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid calibration rejected: %v", err)
+	}
+	var nilCal *Calibration
+	if err := nilCal.Validate(); err != nil {
+		t.Fatalf("nil calibration rejected: %v", err)
+	}
+	bad := []*Calibration{
+		{},
+		{Pooled: []ScaleCalib{{Scale: 128, Scores: nil}}},
+		{Pooled: []ScaleCalib{{Scale: 128, Scores: []float64{0.2, 0.1}}}},
+		{Pooled: []ScaleCalib{{Scale: 128, Scores: []float64{-0.1}}}},
+		{Pooled: []ScaleCalib{{Scale: 128, Scores: []float64{math.NaN()}}}},
+		{Pooled: []ScaleCalib{{Scale: 256, Scores: []float64{0.1}}, {Scale: 128, Scores: []float64{0.1}}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad calibration %d accepted", i)
+		}
+	}
+}
+
+func TestScoreClampsNonPositive(t *testing.T) {
+	if s := Score(1, 1); s != 0 {
+		t.Fatalf("Score(1,1)=%v", s)
+	}
+	if s := Score(0, 1); math.IsInf(s, 0) || math.IsNaN(s) {
+		t.Fatalf("Score(0,1)=%v not finite", s)
+	}
+	if s := Score(1, -2); math.IsInf(s, 0) || math.IsNaN(s) {
+		t.Fatalf("Score(1,-2)=%v not finite", s)
+	}
+}
+
+func TestSamples(t *testing.T) {
+	c := &Calibration{Pooled: []ScaleCalib{
+		{Scale: 128, Scores: []float64{0.1, 0.2, 0.3}},
+		{Scale: 256, Scores: []float64{0.1}},
+	}}
+	min, total := c.Samples()
+	if min != 1 || total != 4 {
+		t.Fatalf("Samples = (%d, %d), want (1, 4)", min, total)
+	}
+	var nilCal *Calibration
+	if min, total := nilCal.Samples(); min != 0 || total != 0 {
+		t.Fatal("nil calibration has samples")
+	}
+}

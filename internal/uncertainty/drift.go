@@ -1,0 +1,319 @@
+package uncertainty
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// DriftConfig parameterizes drift monitoring. The zero value selects the
+// defaults via WithDefaults.
+type DriftConfig struct {
+	// Window is the per-scale rolling window length (observations kept).
+	// <= 0 selects 256.
+	Window int
+	// MinObservations is how many observations a scale's window needs
+	// before its coverage is judged at all; prevents a cold window's
+	// first miss from reading as 0% coverage. <= 0 selects 20.
+	MinObservations int
+	// Coverage is the nominal interval coverage the monitor scores
+	// against (the interval handed to Observe should target it).
+	// Outside (0, 1) selects 0.9.
+	Coverage float64
+	// Floor is the empirical-coverage floor: a judged scale falling
+	// below it raises the drift flag. Outside (0, 1) selects 0.75.
+	Floor float64
+}
+
+// WithDefaults fills unset fields with the production defaults.
+func (c DriftConfig) WithDefaults() DriftConfig {
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.MinObservations <= 0 {
+		c.MinObservations = 20
+	}
+	if c.MinObservations > c.Window {
+		c.MinObservations = c.Window
+	}
+	if c.Coverage <= 0 || c.Coverage >= 1 {
+		c.Coverage = 0.9
+	}
+	if c.Floor <= 0 || c.Floor >= 1 {
+		c.Floor = 0.75
+	}
+	return c
+}
+
+// window is one scale's rolling record of interval hits and absolute
+// percentage errors. Fixed-capacity ring: state is a pure function of
+// the observation sequence, never of the clock.
+type window struct {
+	covered []bool
+	ape     []float64
+	next    int // ring cursor
+	n       int // filled entries, <= len(covered)
+}
+
+func (w *window) push(covered bool, ape float64) {
+	w.covered[w.next] = covered
+	w.ape[w.next] = ape
+	w.next = (w.next + 1) % len(w.covered)
+	if w.n < len(w.covered) {
+		w.n++
+	}
+}
+
+// coverage returns the window's empirical coverage; NaN when empty.
+func (w *window) coverage() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	hits := 0
+	for i := 0; i < w.n; i++ {
+		if w.covered[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(w.n)
+}
+
+// mape returns the window's mean absolute percentage error; NaN when
+// empty.
+func (w *window) mape() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := 0; i < w.n; i++ {
+		s += w.ape[i]
+	}
+	return s / float64(w.n)
+}
+
+// Outcome reports how one observation landed.
+type Outcome struct {
+	// Covered is whether the actual runtime fell inside [Lo, Hi].
+	Covered bool `json:"covered"`
+	// APE is |actual − predicted| / actual.
+	APE float64 `json:"ape"`
+	// BreachStarted marks the observation that flipped the monitor into
+	// the breached state (the drift-kick edge); subsequent observations
+	// during the same breach report false, so one breach episode kicks
+	// retraining exactly once.
+	BreachStarted bool `json:"breach_started,omitempty"`
+	// Reason names the breaching scales and their coverages when
+	// BreachStarted.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Monitor tracks empirical interval coverage and MAPE per target scale
+// over deterministic rolling windows and raises a latched drift flag
+// when any judged scale's coverage falls below the configured floor.
+// Safe for concurrent use.
+type Monitor struct {
+	cfg DriftConfig
+
+	mu       sync.Mutex
+	scales   map[int]*window
+	total    int64
+	breached bool
+	kicks    int64
+	last     string // reason of the most recent breach
+}
+
+// NewMonitor builds a monitor with cfg (defaults applied).
+func NewMonitor(cfg DriftConfig) *Monitor {
+	return &Monitor{cfg: cfg.WithDefaults(), scales: map[int]*window{}}
+}
+
+// Config returns the monitor's resolved configuration.
+func (m *Monitor) Config() DriftConfig { return m.cfg }
+
+// Observe records one measured runtime against the interval that was
+// predicted for it and re-evaluates the drift condition.
+func (m *Monitor) Observe(scale int, predicted, lo, hi, actual float64) Outcome {
+	out := Outcome{Covered: actual >= lo && actual <= hi}
+	if actual > 0 {
+		out.APE = math.Abs(actual-predicted) / actual
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.scales[scale]
+	if !ok {
+		w = &window{covered: make([]bool, m.cfg.Window), ape: make([]float64, m.cfg.Window)}
+		m.scales[scale] = w
+	}
+	w.push(out.Covered, out.APE)
+	m.total++
+
+	reason := m.breachReasonLocked()
+	switch {
+	case reason != "" && !m.breached:
+		m.breached = true
+		m.kicks++
+		m.last = reason
+		out.BreachStarted = true
+		out.Reason = reason
+	case reason == "" && m.breached:
+		// Coverage recovered (e.g. a promoted retrain fixed the model);
+		// unlatch so the next degradation kicks again.
+		m.breached = false
+	}
+	return out
+}
+
+// breachReasonLocked renders the drift condition: every judged scale
+// below the floor, ascending by scale, or "" when none breach.
+func (m *Monitor) breachReasonLocked() string {
+	var bad []int
+	for s, w := range m.scales {
+		if w.n >= m.cfg.MinObservations && w.coverage() < m.cfg.Floor {
+			bad = append(bad, s)
+		}
+	}
+	if len(bad) == 0 {
+		return ""
+	}
+	sort.Ints(bad)
+	reason := fmt.Sprintf("drift: empirical coverage below floor %.2f at nominal %.2f:", m.cfg.Floor, m.cfg.Coverage)
+	for _, s := range bad {
+		w := m.scales[s]
+		reason += fmt.Sprintf(" scale %d %.2f (n=%d)", s, w.coverage(), w.n)
+	}
+	return reason
+}
+
+// WindowSnapshot is one scale's rolling-window state.
+type WindowSnapshot struct {
+	Scale    int     `json:"scale"`
+	N        int     `json:"n"`
+	Coverage float64 `json:"coverage"`
+	MAPE     float64 `json:"mape"`
+}
+
+// MonitorSnapshot is a monitor's exported state (the /metrics view).
+type MonitorSnapshot struct {
+	Model        string           `json:"model,omitempty"`
+	Observations int64            `json:"observations"`
+	Breached     bool             `json:"breached"`
+	Kicks        int64            `json:"kicks"`
+	LastBreach   string           `json:"last_breach,omitempty"`
+	Windows      []WindowSnapshot `json:"windows,omitempty"`
+}
+
+// Snapshot returns the monitor's current state, windows ascending by
+// scale.
+func (m *Monitor) Snapshot() MonitorSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MonitorSnapshot{Observations: m.total, Breached: m.breached, Kicks: m.kicks, LastBreach: m.last}
+	scales := make([]int, 0, len(m.scales))
+	for sc := range m.scales {
+		scales = append(scales, sc)
+	}
+	sort.Ints(scales)
+	for _, sc := range scales {
+		w := m.scales[sc]
+		s.Windows = append(s.Windows, WindowSnapshot{
+			Scale: sc, N: w.n,
+			Coverage: finite(w.coverage()),
+			MAPE:     finite(w.mape()),
+		})
+	}
+	return s
+}
+
+// finite maps NaN/Inf to 0 so snapshots stay JSON-serializable.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// MonitorSet manages one Monitor per model name and funnels breach
+// edges into a single callback (e.g. the pipeline's drift kick). Safe
+// for concurrent use; the callback runs outside all internal locks.
+type MonitorSet struct {
+	cfg      DriftConfig
+	onBreach func(model, reason string)
+
+	mu       sync.Mutex
+	monitors map[string]*Monitor
+}
+
+// NewMonitorSet builds a set with cfg (defaults applied). onBreach may
+// be nil; when set it is invoked once per breach episode per model.
+func NewMonitorSet(cfg DriftConfig, onBreach func(model, reason string)) *MonitorSet {
+	return &MonitorSet{cfg: cfg.WithDefaults(), onBreach: onBreach, monitors: map[string]*Monitor{}}
+}
+
+// Config returns the set's resolved configuration.
+func (ms *MonitorSet) Config() DriftConfig { return ms.cfg }
+
+// Monitor returns (creating if needed) the named model's monitor.
+func (ms *MonitorSet) Monitor(model string) *Monitor {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	m, ok := ms.monitors[model]
+	if !ok {
+		m = NewMonitor(ms.cfg)
+		ms.monitors[model] = m
+	}
+	return m
+}
+
+// Observe records one measurement for the named model and fires the
+// breach callback on a drift edge.
+func (ms *MonitorSet) Observe(model string, scale int, predicted, lo, hi, actual float64) Outcome {
+	out := ms.Monitor(model).Observe(scale, predicted, lo, hi, actual)
+	if out.BreachStarted && ms.onBreach != nil {
+		ms.onBreach(model, out.Reason)
+	}
+	return out
+}
+
+// Snapshot returns every model's monitor state, ascending by model name.
+func (ms *MonitorSet) Snapshot() []MonitorSnapshot {
+	ms.mu.Lock()
+	names := make([]string, 0, len(ms.monitors))
+	mons := make([]*Monitor, 0, len(ms.monitors))
+	for name := range ms.monitors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mons = append(mons, ms.monitors[name])
+	}
+	ms.mu.Unlock()
+	out := make([]MonitorSnapshot, len(mons))
+	for i, m := range mons {
+		out[i] = m.Snapshot()
+		out[i].Model = names[i]
+	}
+	return out
+}
+
+// Kicks returns the total drift-kick count across models.
+func (ms *MonitorSet) Kicks() int64 {
+	ms.mu.Lock()
+	names := make([]string, 0, len(ms.monitors))
+	for name := range ms.monitors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	mons := make([]*Monitor, 0, len(names))
+	for _, name := range names {
+		mons = append(mons, ms.monitors[name])
+	}
+	ms.mu.Unlock()
+	var n int64
+	for _, m := range mons {
+		m.mu.Lock()
+		n += m.kicks
+		m.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,205 @@
+package uncertainty
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// observeHits feeds n observations at scale, the first `miss` of them
+// outside the interval and the rest inside.
+func observeMisses(m *Monitor, scale, n, miss int) (last Outcome) {
+	for i := 0; i < n; i++ {
+		actual := 100.0 // inside [90, 110]
+		if i < miss {
+			actual = 500.0
+		}
+		last = m.Observe(scale, 100, 90, 110, actual)
+	}
+	return last
+}
+
+func TestMonitorBreachLatch(t *testing.T) {
+	m := NewMonitor(DriftConfig{Window: 10, MinObservations: 10, Coverage: 0.9, Floor: 0.75})
+
+	// 10 observations, 4 misses: coverage 0.6 < 0.75 → breach fires on
+	// the observation that completes the window's MinObservations.
+	var breachAt = -1
+	for i := 0; i < 10; i++ {
+		actual := 100.0
+		if i < 4 {
+			actual = 500.0
+		}
+		out := m.Observe(128, 100, 90, 110, actual)
+		if out.BreachStarted {
+			if breachAt >= 0 {
+				t.Fatalf("breach started twice (at %d and %d)", breachAt, i)
+			}
+			breachAt = i
+			if !strings.Contains(out.Reason, "scale 128") {
+				t.Fatalf("reason %q does not name the scale", out.Reason)
+			}
+		}
+	}
+	if breachAt != 9 {
+		t.Fatalf("breach started at observation %d, want 9 (window judged at MinObservations)", breachAt)
+	}
+	s := m.Snapshot()
+	if !s.Breached || s.Kicks != 1 {
+		t.Fatalf("snapshot %+v, want breached with 1 kick", s)
+	}
+
+	// Staying breached must not kick again.
+	if out := m.Observe(128, 100, 90, 110, 500); out.BreachStarted {
+		t.Fatal("second kick during the same breach episode")
+	}
+
+	// Recovery: flood the window with hits until coverage climbs back
+	// above the floor, then degrade again → a second kick.
+	for i := 0; i < 10; i++ {
+		m.Observe(128, 100, 90, 110, 100)
+	}
+	if s := m.Snapshot(); s.Breached {
+		t.Fatalf("monitor still breached after full window of hits: %+v", s)
+	}
+	observeMisses(m, 128, 10, 4)
+	if k := m.Snapshot().Kicks; k != 2 {
+		t.Fatalf("kicks = %d after recovery and re-degradation, want 2", k)
+	}
+}
+
+func TestMonitorMinObservationsGate(t *testing.T) {
+	m := NewMonitor(DriftConfig{Window: 100, MinObservations: 50, Coverage: 0.9, Floor: 0.75})
+	// 49 straight misses: coverage 0 but the window is not judged yet.
+	for i := 0; i < 49; i++ {
+		if out := m.Observe(256, 100, 90, 110, 500); out.BreachStarted {
+			t.Fatalf("breach before MinObservations at i=%d", i)
+		}
+	}
+	if out := m.Observe(256, 100, 90, 110, 500); !out.BreachStarted {
+		t.Fatal("no breach once MinObservations reached")
+	}
+}
+
+func TestMonitorWindowRolls(t *testing.T) {
+	m := NewMonitor(DriftConfig{Window: 4, MinObservations: 2, Coverage: 0.9, Floor: 0.75})
+	// Fill with misses, then push hits: old misses must age out.
+	observeMisses(m, 128, 4, 4)
+	for i := 0; i < 4; i++ {
+		m.Observe(128, 100, 90, 110, 100)
+	}
+	s := m.Snapshot()
+	if len(s.Windows) != 1 {
+		t.Fatalf("windows = %+v", s.Windows)
+	}
+	w := s.Windows[0]
+	if w.N != 4 || w.Coverage != 1 {
+		t.Fatalf("window %+v, want n=4 coverage=1 after rollover", w)
+	}
+}
+
+func TestMonitorAPE(t *testing.T) {
+	m := NewMonitor(DriftConfig{})
+	out := m.Observe(128, 100, 90, 110, 80)
+	if out.APE != 0.25 {
+		t.Fatalf("APE = %v, want 0.25 (|80-100|/80)", out.APE)
+	}
+	// Non-positive actual: APE defined as 0, no NaN poisoning.
+	out = m.Observe(128, 100, 90, 110, 0)
+	if out.APE != 0 {
+		t.Fatalf("APE for zero actual = %v, want 0", out.APE)
+	}
+}
+
+func TestMonitorSnapshotSorted(t *testing.T) {
+	m := NewMonitor(DriftConfig{})
+	for _, sc := range []int{512, 128, 256} {
+		m.Observe(sc, 100, 90, 110, 100)
+	}
+	s := m.Snapshot()
+	if len(s.Windows) != 3 {
+		t.Fatalf("windows = %+v", s.Windows)
+	}
+	for i, want := range []int{128, 256, 512} {
+		if s.Windows[i].Scale != want {
+			t.Fatalf("window %d scale = %d, want %d", i, s.Windows[i].Scale, want)
+		}
+	}
+	if s.Observations != 3 {
+		t.Fatalf("observations = %d", s.Observations)
+	}
+}
+
+func TestMonitorSetCallbackOncePerEpisode(t *testing.T) {
+	var mu sync.Mutex
+	var calls []string
+	ms := NewMonitorSet(DriftConfig{Window: 5, MinObservations: 5, Floor: 0.75}, func(model, reason string) {
+		mu.Lock()
+		calls = append(calls, model+": "+reason)
+		mu.Unlock()
+	})
+	for i := 0; i < 20; i++ {
+		ms.Observe("smg", 128, 100, 90, 110, 500)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 1 {
+		t.Fatalf("callback fired %d times, want 1", len(calls))
+	}
+	if !strings.HasPrefix(calls[0], "smg: drift:") {
+		t.Fatalf("callback payload %q", calls[0])
+	}
+	if ms.Kicks() != 1 {
+		t.Fatalf("Kicks() = %d, want 1", ms.Kicks())
+	}
+}
+
+func TestMonitorSetSnapshotSortedByModel(t *testing.T) {
+	ms := NewMonitorSet(DriftConfig{}, nil)
+	ms.Observe("zeta", 128, 100, 90, 110, 100)
+	ms.Observe("alpha", 128, 100, 90, 110, 100)
+	snaps := ms.Snapshot()
+	if len(snaps) != 2 || snaps[0].Model != "alpha" || snaps[1].Model != "zeta" {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+}
+
+func TestMonitorConcurrent(t *testing.T) {
+	ms := NewMonitorSet(DriftConfig{Window: 64, MinObservations: 16}, func(string, string) {})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				actual := 100.0
+				if (g+i)%3 == 0 {
+					actual = 500.0
+				}
+				ms.Observe("m", 128+(g%2)*128, 100, 90, 110, actual)
+				if i%50 == 0 {
+					ms.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, s := range ms.Snapshot() {
+		total += s.Observations
+	}
+	if total != 8*200 {
+		t.Fatalf("observations = %d, want %d", total, 8*200)
+	}
+}
+
+func TestDriftConfigDefaults(t *testing.T) {
+	c := DriftConfig{}.WithDefaults()
+	if c.Window != 256 || c.MinObservations != 20 || c.Coverage != 0.9 || c.Floor != 0.75 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	c = DriftConfig{Window: 8, MinObservations: 100}.WithDefaults()
+	if c.MinObservations != 8 {
+		t.Fatalf("MinObservations not clamped to Window: %+v", c)
+	}
+}
