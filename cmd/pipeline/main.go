@@ -61,7 +61,11 @@ subcommands:
 }
 
 // stamp is the journal timestamp for this invocation: wall-clock time is
-// read exactly once, at the process boundary.
+// read exactly once, at the process boundary. The journal records WHEN an
+// operational decision happened (audit trail), not experiment output; the
+// artifacts the pipeline trains and promotes stay clock-free.
+//
+//lint:allow clockflow -- journal timestamps are the audit trail's payload; the clock is read once here and nowhere else in this command
 func stamp() string { return time.Now().UTC().Format(time.RFC3339) }
 
 func cmdIngest(args []string) {

@@ -7,9 +7,12 @@
 //	repolint ./...                     # whole module (the tier-1 gate form)
 //	repolint ./internal/mat ./cmd/...  # a subset of packages
 //	repolint -analyzers floateq ./...  # a subset of analyzers
+//	repolint -format sarif ./...       # machine-readable output (json|sarif)
+//	repolint -audit                    # flag stale //lint:allow directives
 //	repolint -list                     # describe every analyzer
 //
 // Exit codes: 0 clean, 1 findings reported, 2 usage or load error.
+// All output is byte-deterministic: same tree in, same bytes out.
 // Suppress an intentional finding with
 //
 //	//lint:allow <analyzer> -- <justification>
@@ -34,10 +37,12 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
 	var (
-		dir   = fs.String("C", ".", "module root directory (must contain go.mod)")
-		names = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		list  = fs.Bool("list", false, "list analyzers and exit")
-		quiet = fs.Bool("q", false, "suppress the closing summary line")
+		dir    = fs.String("C", ".", "module root directory (must contain go.mod)")
+		names  = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list   = fs.Bool("list", false, "list analyzers and exit")
+		quiet  = fs.Bool("q", false, "suppress the closing summary line")
+		format = fs.String("format", "text", "output format: text, json, or sarif")
+		audit  = fs.Bool("audit", false, "audit //lint:allow directives instead of linting: flag stale or unknown-analyzer sites (module-wide; package patterns are ignored)")
 	)
 	fs.Usage = func() {
 		_, _ = fmt.Fprintf(fs.Output(), "usage: repolint [flags] [packages]\n\npackages are ./... style patterns relative to the module root\n\n")
@@ -64,6 +69,13 @@ func run(args []string) int {
 		}
 	}
 
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "repolint: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
+
 	root, err := findModuleRoot(*dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
@@ -75,32 +87,64 @@ func run(args []string) int {
 		return 2
 	}
 
-	patterns := fs.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	keep, err := selectPackages(mod, patterns)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "repolint:", err)
-		return 2
+	var diags []lint.Diagnostic
+	var scope string
+	if *audit {
+		// The audit is module-wide by construction: whether a directive is
+		// stale depends on every analyzer's raw findings, so a package
+		// subset would under-report usage and cry stale falsely.
+		diags = lint.Audit(mod)
+		scope = fmt.Sprintf("%d directive site(s)", lint.CountAllowSites(mod))
+	} else {
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		keep, err := selectPackages(mod, patterns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 2
+		}
+		diags = lint.Run(&lint.Module{Root: mod.Root, Path: mod.Path, Fset: mod.Fset, Pkgs: keep}, analyzers)
+		scope = fmt.Sprintf("%d package(s)", len(keep))
 	}
 
-	diags := lint.Run(&lint.Module{Root: mod.Root, Path: mod.Path, Fset: mod.Fset, Pkgs: keep}, analyzers)
-	for _, d := range diags {
-		// Print module-relative paths so output is stable across checkouts.
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+	// Module-relative paths in every format, so output is byte-identical
+	// across checkouts.
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = filepath.ToSlash(rel)
 		}
-		fmt.Println(d)
+	}
+
+	switch *format {
+	case "json":
+		out, err := lint.FormatJSON(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 2
+		}
+		_, _ = os.Stdout.Write(out)
+	case "sarif":
+		out, err := lint.FormatSARIF(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 2
+		}
+		_, _ = os.Stdout.Write(out)
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "repolint: %d finding(s) in %d package(s)\n", len(diags), len(keep))
+			fmt.Fprintf(os.Stderr, "repolint: %d finding(s) in %s\n", len(diags), scope)
 		}
 		return 1
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "repolint: %d package(s) clean\n", len(keep))
+		fmt.Fprintf(os.Stderr, "repolint: %s clean\n", scope)
 	}
 	return 0
 }

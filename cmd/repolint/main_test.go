@@ -1,6 +1,38 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureRun executes run() with stdout redirected to a pipe and returns
+// the exit code plus everything the invocation printed.
+func captureRun(t *testing.T, args []string) (int, []byte) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	code := run(args)
+	os.Stdout = orig
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return code, buf.Bytes()
+}
+
+// fixtureDir points the CLI at the self-contained flowmod mini-module,
+// which is known to carry findings and stale directives.
+const fixtureDir = "../../internal/lint/testdata/flowmod"
 
 func TestMatchPattern(t *testing.T) {
 	const mod = "repro"
@@ -58,5 +90,85 @@ func TestBadPattern(t *testing.T) {
 	}
 	if code := run([]string{"-q", "-C", "../..", "./does/not/exist"}); code != 2 {
 		t.Fatalf("bad pattern exited %d, want 2", code)
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	if code := run([]string{"-format", "xml"}); code != 2 {
+		t.Fatalf("unknown -format exited %d, want 2", code)
+	}
+}
+
+// TestFormatJSONOutput checks the machine-readable path end to end:
+// findings exist (exit 1), the stream parses, paths are module-relative
+// with forward slashes, and a second run is byte-identical.
+func TestFormatJSONOutput(t *testing.T) {
+	code, out := captureRun(t, []string{"-format", "json", "-C", fixtureDir, "./..."})
+	if code != 1 {
+		t.Fatalf("flowmod lint exited %d, want 1 (findings present); output:\n%s", code, out)
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+	}
+	if err := json.Unmarshal(out, &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("flowmod produced zero findings")
+	}
+	for _, d := range diags {
+		if strings.Contains(d.File, "\\") || strings.HasPrefix(d.File, "/") || strings.Contains(d.File, "..") {
+			t.Errorf("path %q is not module-relative with forward slashes", d.File)
+		}
+	}
+	_, again := captureRun(t, []string{"-format", "json", "-C", fixtureDir, "./..."})
+	if !bytes.Equal(out, again) {
+		t.Fatalf("JSON output differs across runs:\n--- first\n%s\n--- second\n%s", out, again)
+	}
+}
+
+func TestFormatSARIFOutput(t *testing.T) {
+	code, out := captureRun(t, []string{"-format", "sarif", "-C", fixtureDir, "./..."})
+	if code != 1 {
+		t.Fatalf("flowmod lint exited %d, want 1; output:\n%s", code, out)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("output is not valid SARIF JSON: %v\n%s", err, out)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 || len(doc.Runs[0].Results) == 0 {
+		t.Fatalf("malformed SARIF log (version=%q, runs=%d)", doc.Version, len(doc.Runs))
+	}
+}
+
+// TestAuditFlag runs the suppression audit over the fixture module, which
+// carries exactly one stale and one unknown-analyzer directive.
+func TestAuditFlag(t *testing.T) {
+	code, out := captureRun(t, []string{"-audit", "-C", fixtureDir})
+	if code != 1 {
+		t.Fatalf("audit over flowmod exited %d, want 1; output:\n%s", code, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "stale") || !strings.Contains(s, "nosuchanalyzer") {
+		t.Fatalf("audit output missing expected findings:\n%s", s)
+	}
+}
+
+// TestAuditCleanRepository is the tier-1 gate in CLI form: the real tree
+// must carry no stale or unknown suppression directives.
+func TestAuditCleanRepository(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load is slow")
+	}
+	code, out := captureRun(t, []string{"-audit", "-C", "../.."})
+	if code != 0 {
+		t.Fatalf("repolint -audit exited %d on the repository:\n%s", code, out)
 	}
 }

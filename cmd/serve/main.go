@@ -238,6 +238,7 @@ func runPipelineLoop(p *pipeline.Pipeline, every time.Duration, stop <-chan stru
 			log.Printf("pipeline: refreshing store: %v", err)
 			continue
 		}
+		//lint:allow clockflow -- the retrain loop stamps journal entries with the decision time; the audit trail is operational metadata, not experiment output
 		now := time.Now().UTC().Format(time.RFC3339)
 		results, err := p.RunAll(now)
 		for _, res := range results {

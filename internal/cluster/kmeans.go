@@ -184,7 +184,6 @@ func seedPlusPlus(r *rng.Source, x *mat.Dense, k int) *mat.Dense {
 			total += v
 		}
 		var pick int
-		//lint:allow floateq -- exact guard: squared distances sum to literal 0 only when every point coincides with a centroid
 		if total == 0 {
 			pick = r.Intn(n) // all points identical to chosen centroids
 		} else {

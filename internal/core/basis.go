@@ -120,7 +120,6 @@ func selectBasisLambda(phi, y *mat.Dense, cfg Config) float64 {
 		for t := 0; t < y.Cols; t++ {
 			pred := mt.PredictTask(heldout, t)
 			truth := y.At(k-1, t)
-			//lint:allow floateq -- exact guard: a literally-zero truth value is replaced by an epsilon before division
 			if truth == 0 {
 				truth = 1e-12
 			}
@@ -164,7 +163,6 @@ func topTermsByNorm(mt *linmod.MultiTaskModel, support []int, maxTerms int) []in
 // amdahlIndex locates the 1/p term in the basis (index 0 if absent).
 func amdahlIndex(basis []scalefit.Term) int {
 	for i, t := range basis {
-		//lint:allow floateq -- exact identity: basis terms are built from literal exponent grids, never computed
 		if t.A == -1 && t.B == 0 {
 			return i
 		}
@@ -252,7 +250,6 @@ func (m *TwoLevelModel) selectSupportForCurve(shape []float64) []int {
 	mdl := linmod.Lasso(phi, shape, lambda, m.Cfg.Lasso)
 	var support []int
 	for j, c := range mdl.Coef {
-		//lint:allow floateq -- sparsity check: lasso sets dropped coefficients to literal 0
 		if c != 0 {
 			support = append(support, j)
 		}

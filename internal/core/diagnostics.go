@@ -67,7 +67,6 @@ func (m *TwoLevelModel) Diagnose(table *dataset.Table) Diagnostics {
 				if m.Cfg.LogInterpolation {
 					// sigma of log-residuals ~ relative error
 					rel = math.Sqrt(mse)
-					//lint:allow floateq -- divide-by-zero guard on the exact degenerate mean
 				} else if mean := stats.Mean(y); mean != 0 {
 					rel = math.Sqrt(mse) / math.Abs(mean)
 				}
@@ -105,7 +104,6 @@ func (m *TwoLevelModel) anchoredActiveScales(c int) []string {
 	}
 	for _, mdl := range cm.Single {
 		for j, v := range mdl.Coef {
-			//lint:allow floateq -- sparsity check: lasso sets dropped coefficients to literal 0
 			if v != 0 {
 				active[j] = true
 			}

@@ -135,7 +135,6 @@ func (m *TwoLevelModel) PredictIntervalCov(params []float64, coverage float64) [
 // Width returns the relative width (Hi-Lo)/Mid of the interval; 0 when
 // the midpoint is zero.
 func (iv Interval) Width() float64 {
-	//lint:allow floateq -- divide-by-zero guard on the exact degenerate midpoint
 	if iv.Mid == 0 {
 		return 0
 	}

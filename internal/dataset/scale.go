@@ -44,7 +44,6 @@ func FitStandard(x *mat.Dense) *StandardScaler {
 			ss += d * d
 		}
 		sd := math.Sqrt(ss / float64(x.Rows))
-		//lint:allow floateq -- exact guard: a constant column yields a literally-zero standard deviation
 		if sd == 0 {
 			sd = 1
 		}
@@ -132,7 +131,6 @@ func (s *MinMaxScaler) TransformVec(v []float64) {
 	s.check(len(v))
 	for j := range v {
 		span := s.Hi[j] - s.Lo[j]
-		//lint:allow floateq -- exact guard: a constant column yields a literally-zero span
 		if span == 0 {
 			v[j] = 0
 			continue

@@ -179,7 +179,6 @@ func runFig4(p Protocol) ([]*Report, error) {
 		}
 		for i := range yTrue {
 			ape := 0.0
-			//lint:allow floateq -- divide-by-zero guard: APE is undefined at an exactly-zero truth
 			if yTrue[i] != 0 {
 				ape = abs(yTrue[i]-yPred[i]) / yTrue[i]
 			}
@@ -295,7 +294,6 @@ func noisySetup(app hpcsim.App, p Protocol, sigma float64) (*Setup, error) {
 	}
 	eng := hpcsim.NewEngine(nil, p.Seed)
 	eng.NoiseSigma = sigma
-	//lint:allow floateq -- exact sentinel: sigma iterates over a literal grid that includes 0
 	if sigma == 0 {
 		eng.InterferenceProb = 0
 	}

@@ -23,7 +23,6 @@ func (b Breakdown) Total() float64 {
 // 0 for an empty breakdown.
 func (b Breakdown) CommFraction() float64 {
 	t := b.Total()
-	//lint:allow floateq -- divide-by-zero guard on an exactly-empty breakdown
 	if t == 0 {
 		return 0
 	}

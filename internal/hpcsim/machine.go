@@ -116,7 +116,6 @@ func (m *Machine) effLatency(p int) float64 {
 func (m *Machine) effBandwidth(p int) float64 {
 	f, _ := m.placement(p)
 	// harmonic blend: serialized transfers through the slower path dominate
-	//lint:allow floateq -- exact sentinel: placement fraction is literal 0 for single-node runs
 	if f == 0 {
 		return m.BandwidthIntra
 	}

@@ -82,7 +82,6 @@ func (r *Regressor) Predict(v []float64) float64 {
 	var num, den float64
 	for _, n := range nbs[:r.k] {
 		d := math.Sqrt(n.d)
-		//lint:allow floateq -- exact-match fast path: distance is literal 0 only for an identical configuration
 		if d == 0 {
 			return r.y[n.i] // exact match dominates
 		}

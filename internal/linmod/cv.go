@@ -43,7 +43,6 @@ func CVLasso(r *rng.Source, x *mat.Dense, y []float64, k, nLambdas int, opt Opti
 		panic("linmod: CVLasso bad fold count")
 	}
 	lmax := LambdaMax(x, y)
-	//lint:allow floateq -- exact guard: lambda-max is literally 0 only for an all-zero design
 	if lmax == 0 {
 		lmax = 1e-12
 	}
@@ -76,7 +75,6 @@ func CVMultiTaskLasso(r *rng.Source, x, y *mat.Dense, k, nLambdas int, opt Optio
 		panic("linmod: CVMultiTaskLasso bad fold count")
 	}
 	lmax := MultiTaskLambdaMax(x, y)
-	//lint:allow floateq -- exact guard: lambda-max is literally 0 only for an all-zero design
 	if lmax == 0 {
 		lmax = 1e-12
 	}

@@ -99,7 +99,6 @@ func standardize(x *mat.Dense, y []float64) *standardized {
 			ss += d * d
 		}
 		sd := math.Sqrt(ss / float64(n))
-		//lint:allow floateq -- exact guard: a constant column yields a literally-zero standard deviation
 		if sd == 0 {
 			sd = 1
 		}
@@ -231,7 +230,6 @@ func ElasticNet(x *mat.Dense, y []float64, lambda, alpha float64, opt Options) *
 		var maxDelta float64
 		for j := 0; j < p; j++ {
 			cn := s.colNorm[j]
-			//lint:allow floateq -- exact guard: skip all-zero columns (norm is literal 0)
 			if cn == 0 {
 				continue
 			}
@@ -294,7 +292,6 @@ func LassoPath(x *mat.Dense, y []float64, k int, epsRatio float64, opt Options) 
 	}
 	opt = opt.withDefaults()
 	lmax := LambdaMax(x, y)
-	//lint:allow floateq -- exact guard: lambda-max is literally 0 only for an all-zero design
 	if lmax == 0 {
 		lmax = 1e-12
 	}
@@ -316,7 +313,6 @@ func LassoPath(x *mat.Dense, y []float64, k int, epsRatio float64, opt Options) 
 			var maxDelta float64
 			for j := 0; j < p; j++ {
 				cn := s.colNorm[j]
-				//lint:allow floateq -- exact guard: skip all-zero columns (norm is literal 0)
 				if cn == 0 {
 					continue
 				}

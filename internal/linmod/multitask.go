@@ -36,7 +36,6 @@ func (m *MultiTaskModel) PredictInto(v, dst []float64) []float64 {
 	}
 	copy(dst, m.Intercept)
 	for j, xv := range v {
-		//lint:allow floateq -- sparsity fast path: skip features stored as literal 0
 		if xv == 0 {
 			continue
 		}
@@ -110,7 +109,6 @@ func MultiTaskLasso(x, y *mat.Dense, lambda float64, opt Options) *MultiTaskMode
 			ss += d * d
 		}
 		sd := math.Sqrt(ss / float64(n))
-		//lint:allow floateq -- exact guard: a constant column yields a literally-zero standard deviation
 		if sd == 0 {
 			sd = 1
 		}
@@ -149,7 +147,6 @@ func MultiTaskLasso(x, y *mat.Dense, lambda float64, opt Options) *MultiTaskMode
 		var maxDelta float64
 		for j := 0; j < p; j++ {
 			cn := colNorm[j]
-			//lint:allow floateq -- exact guard: skip all-zero columns (norm is literal 0)
 			if cn == 0 {
 				continue
 			}
@@ -160,7 +157,6 @@ func MultiTaskLasso(x, y *mat.Dense, lambda float64, opt Options) *MultiTaskMode
 			}
 			for i := 0; i < n; i++ {
 				xij := xs.At(i, j)
-				//lint:allow floateq -- sparsity fast path: skip entries stored as literal 0
 				if xij == 0 {
 					continue
 				}
@@ -179,14 +175,12 @@ func MultiTaskLasso(x, y *mat.Dense, lambda float64, opt Options) *MultiTaskMode
 			for t := 0; t < tasks; t++ {
 				newb := scale * rho[t]
 				d := newb - brow[t]
-				//lint:allow floateq -- no-op update skip: delta is literal 0 when the coefficient did not move
 				if d != 0 {
 					if ad := math.Abs(d); ad > rowDelta {
 						rowDelta = ad
 					}
 					for i := 0; i < n; i++ {
 						xij := xs.At(i, j)
-						//lint:allow floateq -- sparsity fast path: skip entries stored as literal 0
 						if xij != 0 {
 							resid.Set(i, t, resid.At(i, t)-d*xij)
 						}
@@ -238,7 +232,6 @@ func MultiTaskLambdaMax(x, y *mat.Dense) float64 {
 			ss += d * d
 		}
 		sd := math.Sqrt(ss / float64(n))
-		//lint:allow floateq -- exact guard: a constant column yields a literally-zero standard deviation
 		if sd == 0 {
 			sd = 1
 		}

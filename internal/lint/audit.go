@@ -1,0 +1,60 @@
+package lint
+
+import "go/ast"
+
+// audit.go checks the suppression escape hatch itself: every //lint:allow
+// directive must still suppress at least one live finding of the analyzer
+// it names. Directives that suppress nothing are debt — the code they
+// excused has changed, or an analyzer got more precise — and directives
+// naming an unknown analyzer are typos that silently suppress nothing.
+// `repolint -audit` runs this; TestRepositoryClean asserts it stays empty.
+
+// AuditAnalyzerName labels audit findings in output and suppression. (The
+// audit itself cannot be suppressed with //lint:allow — a stale directive
+// is fixed by deletion, not by a second directive.)
+const AuditAnalyzerName = "allowaudit"
+
+// CountAllowSites returns how many //lint:allow sites the module carries
+// (a directive naming two analyzers counts twice). The CLI reports it so
+// the audit summary shows the denominator.
+func CountAllowSites(mod *Module) int {
+	var allows *allowIndex
+	for _, pkg := range mod.Pkgs {
+		all := append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
+		allows = collectAllows(allows, mod.Fset, all)
+	}
+	if allows == nil {
+		return 0
+	}
+	return len(allows.sites)
+}
+
+// Audit runs every analyzer over the module and reports each allow site
+// that is stale (suppresses no raw finding) or names an unknown analyzer.
+// Findings come back as Diagnostics so the CLI's output formats apply.
+func Audit(mod *Module) []Diagnostic {
+	_, allows := runAll(mod, All())
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, site := range allows.sites {
+		switch {
+		case !known[site.name]:
+			diags = append(diags, Diagnostic{
+				Analyzer: AuditAnalyzerName,
+				Pos:      site.pos,
+				Message:  "//lint:allow names unknown analyzer " + site.name + "; it suppresses nothing — fix the name or delete the directive",
+			})
+		case !site.used:
+			diags = append(diags, Diagnostic{
+				Analyzer: AuditAnalyzerName,
+				Pos:      site.pos,
+				Message:  "stale //lint:allow " + site.name + ": no " + site.name + " finding on this or the next line — delete the directive",
+			})
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}

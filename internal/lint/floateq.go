@@ -6,14 +6,18 @@ import (
 	"go/types"
 )
 
-// FloatEq flags == and != between floating-point expressions. Exact float
-// equality is almost always a latent bug next to accumulated rounding
-// error; intentional exact guards (sparsity checks against a value that
-// was literally assigned zero, NaN self-comparison) carry a
+// FloatEq flags == and != between two COMPUTED floating-point expressions.
+// Exact float equality between computed values is almost always a latent
+// bug next to accumulated rounding error. Comparisons where either side is
+// a compile-time constant are exempt: `x == 0` / `w != initialWeight` is
+// the sentinel/guard idiom — the program asks "is this still exactly the
+// value something assigned", which IEEE 754 answers reliably. Only
+// computed-vs-computed comparisons (sums, products, function results on
+// both sides) remain findings; the rare intentional one carries a
 // //lint:allow floateq annotation with a justification.
 var FloatEq = &Analyzer{
 	Name: "floateq",
-	Doc:  "no ==/!= between floats; compare with a tolerance, use math.IsNaN, or annotate an intentional exact guard",
+	Doc:  "no ==/!= between two computed floats; compare with a tolerance, use math.IsNaN, or annotate an intentional exact guard (constant comparands are exempt)",
 	Run:  runFloatEq,
 }
 
@@ -29,12 +33,13 @@ func runFloatEq(pass *Pass) {
 			}
 			xt := pass.Info.Types[be.X]
 			yt := pass.Info.Types[be.Y]
-			// Two untyped constants compare exactly at compile time.
-			if xt.Value != nil && yt.Value != nil {
+			// A constant on either side is the sentinel/guard idiom
+			// (x == 0, w != maxFloat): exact by construction, not a bug.
+			if xt.Value != nil || yt.Value != nil {
 				return true
 			}
 			if isFloat(xt.Type) || isFloat(yt.Type) {
-				pass.Reportf(be.OpPos, "floating-point %s comparison (%s %s %s); use a tolerance or math.IsNaN, or annotate with //lint:allow floateq",
+				pass.Reportf(be.OpPos, "floating-point %s between two computed values (%s %s %s); use a tolerance or math.IsNaN, or annotate with //lint:allow floateq",
 					be.Op, exprString(pass.Fset, be.X), be.Op, exprString(pass.Fset, be.Y))
 			}
 			return true

@@ -1,0 +1,221 @@
+package lint_test
+
+import (
+	"bytes"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// loadTestModule loads a self-contained mini-module under testdata/<dir>
+// (its own go.mod declares `module repro`, so fixture sink paths like
+// repro/internal/core resolve exactly like the real tree's).
+func loadTestModule(t *testing.T, dir string) *lint.Module {
+	t.Helper()
+	mod, err := lint.LoadModule(filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatalf("loading fixture module %s: %v", dir, err)
+	}
+	return mod
+}
+
+// moduleWantLines recursively scans a fixture module for `// want
+// <analyzer>...` markers, returning expected "basename.go:line" keys.
+func moduleWantLines(t *testing.T, dir, analyzer string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	root := filepath.Join("testdata", dir)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				for _, name := range strings.Fields(m[1]) {
+					if name == analyzer {
+						want[filepath.Base(path)+":"+strconv.Itoa(i+1)] = true
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// checkModuleFixture asserts a module-scoped analyzer fires exactly on
+// the want-marked lines of its fixture module and nowhere else.
+func checkModuleFixture(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	mod := loadTestModule(t, dir)
+	got := map[string][]string{}
+	for _, d := range lint.Run(mod, []*lint.Analyzer{a}) {
+		key := filepath.Base(d.Pos.Filename) + ":" + strconv.Itoa(d.Pos.Line)
+		got[key] = append(got[key], d.Message)
+	}
+	want := moduleWantLines(t, dir, a.Name)
+	for key := range want {
+		if len(got[key]) == 0 {
+			t.Errorf("%s: expected a %s finding at %s, got none", dir, a.Name, key)
+		}
+	}
+	for key, msgs := range got {
+		if !want[key] {
+			t.Errorf("%s: unexpected %s finding at %s: %v", dir, a.Name, key, msgs)
+		}
+	}
+}
+
+func TestClockFlowModuleFixture(t *testing.T) {
+	checkModuleFixture(t, lint.ClockFlow, "flowmod")
+}
+
+func TestRandFlowModuleFixture(t *testing.T) {
+	checkModuleFixture(t, lint.RandFlow, "flowmod")
+}
+
+// TestTaintDepthGiveUpReports pins the fail-closed contract: a flow the
+// engine loses past the depth bound must produce a finding that says so,
+// not silently pass.
+func TestTaintDepthGiveUpReports(t *testing.T) {
+	mod := loadTestModule(t, "flowmod")
+	found := false
+	for _, d := range lint.Run(mod, []*lint.Analyzer{lint.ClockFlow}) {
+		if strings.Contains(d.Message, "depth bound") {
+			found = true
+			if !strings.Contains(filepath.Base(d.Pos.Filename)+":"+strconv.Itoa(d.Pos.Line), "main.go") {
+				t.Errorf("give-up reported away from the source: %s", d)
+			}
+		}
+	}
+	if !found {
+		t.Error("13-hop chain produced no depth-bound give-up finding")
+	}
+}
+
+// TestCallGraphDeterminism loads the same module twice and demands
+// byte-identical graph serializations — the substrate every module
+// analyzer iterates, so this is the root of output stability.
+func TestCallGraphDeterminism(t *testing.T) {
+	a := loadTestModule(t, "flowmod")
+	b := loadTestModule(t, "flowmod")
+	sa := lint.BuildCallGraph(a).String(a.Fset)
+	sb := lint.BuildCallGraph(b).String(b.Fset)
+	if sa != sb {
+		t.Fatalf("call graph serialization differs across loads:\n--- first\n%s\n--- second\n%s", sa, sb)
+	}
+	if !strings.Contains(sa, "repro/internal/rng.New") || !strings.Contains(sa, "$1") {
+		t.Fatalf("graph is missing declared functions or literals:\n%s", sa)
+	}
+}
+
+// TestFindingOrderDeterminism runs the full suite twice over fresh loads
+// and demands byte-identical rendered findings.
+func TestFindingOrderDeterminism(t *testing.T) {
+	render := func() []byte {
+		mod := loadTestModule(t, "flowmod")
+		out, err := lint.FormatJSON(lint.Run(mod, lint.All()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first, second := render(), render()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("findings differ across runs:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+	if len(first) == 0 || string(first) == "[]\n" {
+		t.Fatal("fixture module unexpectedly produced no findings")
+	}
+}
+
+func TestAuditFlagsStaleAndUnknown(t *testing.T) {
+	mod := loadTestModule(t, "flowmod")
+	diags := lint.Audit(mod)
+	var stale, unknown int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "stale //lint:allow floateq"):
+			stale++
+		case strings.Contains(d.Message, "unknown analyzer nosuchanalyzer"):
+			unknown++
+		case strings.Contains(d.Message, "lint:allow clockflow"):
+			t.Errorf("audit flagged the live clockflow directive: %s", d)
+		}
+		if d.Analyzer != lint.AuditAnalyzerName {
+			t.Errorf("audit finding with wrong analyzer label: %s", d)
+		}
+	}
+	if stale != 1 || unknown != 1 || len(diags) != 2 {
+		t.Fatalf("audit = %d findings (stale=%d unknown=%d), want exactly 1+1: %v", len(diags), stale, unknown, diags)
+	}
+}
+
+func TestFormatJSON(t *testing.T) {
+	if out, err := lint.FormatJSON(nil); err != nil || string(out) != "[]\n" {
+		t.Fatalf("empty findings render %q, %v; want [] and a newline", out, err)
+	}
+	d := lint.Diagnostic{Analyzer: "floateq", Message: "a < b stays unescaped"}
+	d.Pos.Filename = "internal/mat/matrix.go"
+	d.Pos.Line, d.Pos.Column = 3, 7
+	out, err := lint.FormatJSON([]lint.Diagnostic{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"analyzer": "floateq"`, `"file": "internal/mat/matrix.go"`, `"line": 3`, `"col": 7`, "a < b stays unescaped"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("JSON output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(string(out), `\u003c`) {
+		t.Errorf("JSON output HTML-escapes source snippets:\n%s", out)
+	}
+}
+
+func TestFormatSARIF(t *testing.T) {
+	d := lint.Diagnostic{Analyzer: "clockflow", Message: "m"}
+	d.Pos.Filename = "cmd/pipeline/main.go"
+	d.Pos.Line, d.Pos.Column = 65, 30
+	out, err := lint.FormatSARIF([]lint.Diagnostic{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{
+		`"version": "2.1.0"`,
+		`"name": "repolint"`,
+		`"ruleId": "clockflow"`,
+		`"uri": "cmd/pipeline/main.go"`,
+		`"startLine": 65,`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SARIF output missing %q:\n%s", want, s)
+		}
+	}
+	// The rule table always carries the full suite plus the audit rule,
+	// independent of which findings are present.
+	for _, a := range lint.All() {
+		if !strings.Contains(s, `"id": "`+a.Name+`"`) {
+			t.Errorf("SARIF rule table missing %s", a.Name)
+		}
+	}
+	if !strings.Contains(s, `"id": "`+lint.AuditAnalyzerName+`"`) {
+		t.Error("SARIF rule table missing the audit pseudo-rule")
+	}
+	two, err := lint.FormatSARIF([]lint.Diagnostic{d})
+	if err != nil || !bytes.Equal(out, two) {
+		t.Error("SARIF output not byte-identical across calls")
+	}
+}

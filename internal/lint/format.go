@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// format.go renders findings machine-readably for CI. Both formats are
+// byte-deterministic: findings arrive sorted (sortDiagnostics), structs
+// marshal in declaration order, and nothing stamps a clock or a random
+// id. Filenames are whatever the caller put in Diagnostic.Pos.Filename —
+// cmd/repolint relativizes them to the module root first so output is
+// identical across checkouts.
+
+// jsonFinding is the -format json element.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// FormatJSON renders findings as an indented JSON array (never null).
+func FormatJSON(diags []Diagnostic) ([]byte, error) {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonFinding{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return marshalIndent(out)
+}
+
+// Minimal SARIF 2.1.0 document structure — just enough for CI annotation
+// uploads, kept as concrete structs so field order (and therefore output
+// bytes) is fixed.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID   string    `json:"id"`
+	Desc sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	Physical sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	Artifact sarifArtifact `json:"artifactLocation"`
+	Region   sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// FormatSARIF renders findings as a SARIF 2.1.0 log. The rule table is
+// always the full suite plus the audit pseudo-rule, independent of which
+// findings are present, so the byte layout depends only on the findings.
+func FormatSARIF(diags []Diagnostic) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(All())+1)
+	for _, a := range All() {
+		rules = append(rules, sarifRule{ID: a.Name, Desc: sarifText{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:   AuditAnalyzerName,
+		Desc: sarifText{Text: "every //lint:allow directive must still suppress a live finding"},
+	})
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{Physical: sarifPhysical{
+				Artifact: sarifArtifact{URI: d.Pos.Filename},
+				Region:   sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	return marshalIndent(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "repolint", Rules: rules}}, Results: results}},
+	})
+}
+
+// marshalIndent is json.MarshalIndent with unescaped HTML (messages quote
+// source like `a < b`) and a trailing newline.
+func marshalIndent(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, fmt.Errorf("lint: encoding findings: %w", err)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineShare flags the data-race shapes that survive `go vet` and only
+// show up under `-race` when the schedule cooperates: a goroutine closure
+// writing to state captured from the enclosing function without a visible
+// synchronization token, and sync.WaitGroup counters added after the
+// goroutine they account for has already launched.
+//
+// The module's sanctioned fan-out idiom — each worker writes a DISJOINT
+// index of a pre-sized slice (forest training, blocked matmul) — is
+// deliberately exempt: slice/array element writes through an index are
+// never flagged. Everything else that mutates captured storage is:
+//
+//   - map element writes (maps are never safe for concurrent mutation);
+//   - append-and-reassign of a captured slice (races on len and backing
+//     array even with disjoint "slots");
+//   - plain assignment, op-assignment, or ++/-- of a captured variable;
+//   - field writes and writes through a captured pointer.
+//
+// A write is considered guarded when a synchronization acquire — a
+// Lock/RLock method call, a sync/atomic call, or a channel receive —
+// appears earlier in the closure body's source order. That is a heuristic
+// (source order is not happens-before), but it cleanly separates the
+// mutex-guarded registry pattern from the bare captured write, and the
+// race detector backs it up at runtime.
+var GoroutineShare = &Analyzer{
+	Name: "goroutineshare",
+	Doc:  "goroutine closures must not write captured maps/slices/fields without synchronization; WaitGroup.Add must precede the goroutine it counts",
+	Run:  runGoroutineShare,
+}
+
+func runGoroutineShare(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					checkGoClosure(p, lit)
+				}
+			case *ast.BlockStmt:
+				checkAddAfterGo(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkGoClosure flags unsynchronized writes to captured storage inside
+// one launched closure.
+func checkGoClosure(p *Pass, lit *ast.FuncLit) {
+	guardPos := firstSyncToken(p, lit.Body)
+	guarded := func(pos token.Pos) bool {
+		return guardPos != token.NoPos && guardPos < pos
+	}
+	captured := func(e ast.Expr) (types.Object, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || obj.Parent() == nil {
+			return nil, false
+		}
+		// Captured = declared outside the closure (including the literal's
+		// own parameters, which are declared at the type's position).
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return nil, false
+		}
+		// Package-level state shared by construction; still counts.
+		return obj, true
+	}
+
+	checkTarget := func(l ast.Expr, verb string) {
+		if guarded(l.Pos()) {
+			return
+		}
+		switch l := ast.Unparen(l).(type) {
+		case *ast.IndexExpr:
+			obj, ok := captured(l.X)
+			if !ok {
+				return
+			}
+			switch p.Info.TypeOf(l.X).Underlying().(type) {
+			case *types.Map:
+				p.Reportf(l.Pos(), "goroutine writes captured map %s without synchronization; concurrent map writes fault at runtime — guard with a mutex or collect per-goroutine and merge after Wait", obj.Name())
+			case *types.Slice, *types.Array, *types.Pointer:
+				// Disjoint-index fan-out: each worker owns its slot. Exempt.
+			default:
+				p.Reportf(l.Pos(), "goroutine %s captured %s without synchronization", verb, obj.Name())
+			}
+		case *ast.Ident:
+			if obj, ok := captured(l); ok {
+				p.Reportf(l.Pos(), "goroutine %s captured variable %s without synchronization; the parent's reads race with this write — use a channel, a mutex, or a per-goroutine slot", verb, obj.Name())
+			}
+		case *ast.SelectorExpr:
+			if obj, ok := captured(l.X); ok {
+				p.Reportf(l.Pos(), "goroutine writes field %s.%s of captured %s without synchronization — guard the write or give each goroutine its own struct", obj.Name(), l.Sel.Name, obj.Name())
+			}
+		case *ast.StarExpr:
+			if obj, ok := captured(l.X); ok {
+				p.Reportf(l.Pos(), "goroutine writes through captured pointer %s without synchronization — the pointee is shared with the parent", obj.Name())
+			}
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != lit {
+				return false // nested launches are visited by the outer walk
+			}
+		case *ast.AssignStmt:
+			// s = append(s, x) on a captured slice races regardless of the
+			// exempt index-write rule: len and backing array are shared.
+			if n.Tok == token.ASSIGN && len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if obj, ok := capturedAppendTarget(p, lit, n); ok {
+					if !guarded(n.Pos()) {
+						p.Reportf(n.Pos(), "goroutine appends to captured slice %s without synchronization; append races on length and backing array — collect per-goroutine and merge after Wait", obj.Name())
+					}
+					return true
+				}
+			}
+			for _, l := range n.Lhs {
+				checkTarget(l, "assigns to")
+			}
+		case *ast.IncDecStmt:
+			checkTarget(n.X, "increments")
+		}
+		return true
+	})
+}
+
+// capturedAppendTarget matches `s = append(s, ...)` where s is captured.
+func capturedAppendTarget(p *Pass, lit *ast.FuncLit, as *ast.AssignStmt) (types.Object, bool) {
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil || (obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+		return nil, false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || calleeName(call) != "append" || len(call.Args) == 0 {
+		return nil, false
+	}
+	if _, isBuiltin := p.Info.Uses[ast.Unparen(call.Fun).(*ast.Ident)].(*types.Builtin); !isBuiltin {
+		return nil, false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return obj, ok && p.Info.Uses[first] == obj
+}
+
+// firstSyncToken returns the position of the earliest synchronization
+// acquire in body: a Lock/RLock method call, a sync/atomic call, or a
+// channel receive. token.NoPos when none exists.
+func firstSyncToken(p *Pass, body *ast.BlockStmt) token.Pos {
+	first := token.NoPos
+	note := func(pos token.Pos) {
+		if first == token.NoPos || pos < first {
+			first = pos
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+					note(n.Pos())
+				}
+				if obj := p.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+					note(n.Pos())
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				note(n.Pos())
+			}
+		}
+		return true
+	})
+	return first
+}
+
+// checkAddAfterGo flags WaitGroup counter bumps that land after a
+// goroutine launch in the same block — the classic
+//
+//	go worker()
+//	wg.Add(1)        // racy: Wait may have already returned
+//
+// misordering — and Add calls inside a launched closure, which race with
+// the parent's Wait the same way.
+func checkAddAfterGo(p *Pass, block *ast.BlockStmt) {
+	sawGo := false
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.GoStmt:
+			sawGo = true
+			if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok && isWaitGroupCall(p, call, "Add") {
+						p.Reportf(call.Pos(), "WaitGroup.Add inside the launched goroutine races with Wait in the parent; call Add before the go statement")
+					}
+					return true
+				})
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && sawGo && isWaitGroupCall(p, call, "Add") {
+				p.Reportf(call.Pos(), "WaitGroup.Add after a go statement in the same block; a Wait that started between them can return early — Add before launching")
+			}
+		}
+	}
+}
+
+// isWaitGroupCall reports whether call is <sync.WaitGroup>.name(...).
+func isWaitGroupCall(p *Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	t := p.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}

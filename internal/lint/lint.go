@@ -14,6 +14,12 @@
 // Analyzer; cmd/repolint runs them all and `make lint` wires the suite
 // into the tier-1 gate.
 //
+// Two analyzer shapes exist. Package-scoped analyzers (Run) see one
+// type-checked package at a time. Module-scoped analyzers (RunModule) see
+// the whole module at once and reason interprocedurally over the call
+// graph (callgraph.go) and taint engine (taint.go): clockflow, randflow.
+// goroutineshare is package-scoped but flow-aware within functions.
+//
 // # Escape hatch
 //
 // A finding that is intentional is suppressed with a directive comment
@@ -30,6 +36,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
@@ -45,11 +52,13 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named invariant check run over a type-checked package.
+// Analyzer is one named invariant check. Exactly one of Run (per-package)
+// or RunModule (whole-module, interprocedural) is set.
 type Analyzer struct {
-	Name string // short lowercase name, used in //lint:allow directives
-	Doc  string // one-line description of the protected invariant
-	Run  func(*Pass)
+	Name      string // short lowercase name, used in //lint:allow directives
+	Doc       string // one-line description of the protected invariant
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass presents one package to one analyzer and collects its findings.
@@ -86,6 +95,34 @@ func (p *Pass) RelPath() string {
 	return strings.TrimPrefix(p.PkgPath, p.ModPath+"/")
 }
 
+// ModulePass presents the whole module to one module-scoped analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Mod      *Module
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Mod.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Position renders pos module-relative ("internal/pipeline/journal.go:102")
+// so messages are stable across checkouts.
+func (p *ModulePass) Position(pos token.Pos) string {
+	pp := p.Mod.Fset.Position(pos)
+	name := pp.Filename
+	if rel, err := filepath.Rel(p.Mod.Root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d", name, pp.Line)
+}
+
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -94,6 +131,9 @@ func All() []*Analyzer {
 		FloatEq,
 		MapIterOrder,
 		ErrIgnore,
+		ClockFlow,
+		RandFlow,
+		GoroutineShare,
 	}
 }
 
@@ -123,16 +163,31 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// allowDirectives maps file -> line -> set of analyzer names allowed there.
-// A directive on line L suppresses findings on L (inline form) and on L+1
-// (standalone form).
-type allowDirectives map[string]map[int]map[string]bool
+// allowSite is one (directive, analyzer-name) pair: a directive naming two
+// analyzers yields two sites. The audit (audit.go) reports sites that never
+// suppress a finding.
+type allowSite struct {
+	pos  token.Position
+	name string // analyzer name as written
+	used bool   // set when the site suppresses at least one raw finding
+}
+
+// allowIndex holds every //lint:allow site of a module, in deterministic
+// collection order, with a by-position lookup. A directive on line L
+// suppresses findings on L (inline form) and on L+1 (standalone form).
+type allowIndex struct {
+	sites  []*allowSite
+	byLine map[string]map[int][]*allowSite
+}
 
 const allowPrefix = "lint:allow"
 
-// collectAllows scans the comments of all files for //lint:allow directives.
-func collectAllows(fset *token.FileSet, files []*ast.File) allowDirectives {
-	out := allowDirectives{}
+// collectAllows scans the comments of files for //lint:allow directives,
+// appending into idx (created when nil).
+func collectAllows(idx *allowIndex, fset *token.FileSet, files []*ast.File) *allowIndex {
+	if idx == nil {
+		idx = &allowIndex{byLine: map[string]map[int][]*allowSite{}}
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -150,31 +205,39 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowDirectives {
 					}
 				}
 				pos := fset.Position(c.Pos())
-				m := out[pos.Filename]
+				m := idx.byLine[pos.Filename]
 				if m == nil {
-					m = map[int]map[string]bool{}
-					out[pos.Filename] = m
+					m = map[int][]*allowSite{}
+					idx.byLine[pos.Filename] = m
 				}
 				for _, name := range strings.FieldsFunc(text, func(r rune) bool {
 					return r == ',' || r == ' ' || r == '\t'
 				}) {
-					if m[pos.Line] == nil {
-						m[pos.Line] = map[string]bool{}
-					}
-					m[pos.Line][name] = true
+					site := &allowSite{pos: pos, name: name}
+					idx.sites = append(idx.sites, site)
+					m[pos.Line] = append(m[pos.Line], site)
 				}
 			}
 		}
 	}
-	return out
+	return idx
 }
 
-// allowed reports whether a diagnostic is suppressed by a directive on its
-// own line or the line directly above.
-func (a allowDirectives) allowed(d Diagnostic) bool {
-	m := a[d.Pos.Filename]
+// suppress reports whether a diagnostic is covered by a directive on its
+// own line or the line directly above, marking the covering sites used.
+func (idx *allowIndex) suppress(d Diagnostic) bool {
+	m := idx.byLine[d.Pos.Filename]
 	if m == nil {
 		return false
 	}
-	return m[d.Pos.Line][d.Analyzer] || m[d.Pos.Line-1][d.Analyzer]
+	hit := false
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, site := range m[line] {
+			if site.name == d.Analyzer {
+				site.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
 }

@@ -32,21 +32,34 @@ func TestRepositoryClean(t *testing.T) {
 	for _, d := range lint.Run(mod, lint.All()) {
 		t.Errorf("%s", d)
 	}
+	// Audit cleanliness is part of the gate: every //lint:allow in the
+	// tree must still suppress a live finding. A stale directive is a
+	// deleted invariant pretending to be an accepted one.
+	for _, d := range lint.Audit(mod) {
+		t.Errorf("%s", d)
+	}
 }
 
 func TestAnalyzerNamesAreUniqueAndDocumented(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range lint.All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" {
 			t.Errorf("malformed analyzer %+v", a)
+		}
+		// Exactly one of the two shapes: per-package or module-scoped.
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %s must set exactly one of Run and RunModule", a.Name)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %s", a.Name)
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 5 {
-		t.Errorf("suite has %d analyzers, want 5", len(seen))
+	if len(seen) != 8 {
+		t.Errorf("suite has %d analyzers, want 8", len(seen))
+	}
+	if lint.AuditAnalyzerName != "allowaudit" || seen[lint.AuditAnalyzerName] {
+		t.Errorf("the audit pseudo-analyzer must stay outside the suite (cannot be suppressed)")
 	}
 }
 

@@ -116,17 +116,17 @@ func TestAllowDirectiveParsing(t *testing.T) {
 		"go.mod": "module example.com/m\n\ngo 1.22\n",
 		"a/a.go": `package a
 
-func cmp(x float64) bool {
+func cmp(x, y float64) bool {
 	//lint:allow floateq -- standalone form
-	return x == 0
+	return x == y
 }
 
-func cmp2(x float64) bool {
-	return x == 1 //lint:allow floateq — em-dash justification
+func cmp2(x, y float64) bool {
+	return x == y //lint:allow floateq — em-dash justification
 }
 
-func cmp3(x float64) bool {
-	return x == 2 //lint:allow nowallclock -- wrong analyzer: must NOT suppress
+func cmp3(x, y float64) bool {
+	return x == y //lint:allow nowallclock -- wrong analyzer: must NOT suppress
 }
 `,
 	})

@@ -3,77 +3,28 @@ package lint
 import (
 	"go/ast"
 	"go/token"
-	"strconv"
 	"strings"
 )
 
-// randRestrictedPkgs are the module-relative package subtrees whose
-// stochastic behaviour must flow from internal/rng so a single seed
-// reproduces every experiment. cmd/ and internal/serving may import other
-// libraries freely (they hold no experiment randomness), and internal/rng
-// itself is the one sanctioned generator.
-var randRestrictedPkgs = []string{
-	"internal/tree",
-	"internal/linmod",
-	"internal/hpcsim",
-	"internal/experiments",
-	"internal/core",
-	"internal/forest",
-	"internal/gbrt",
-	"internal/cluster",
-	"internal/knn",
-	"internal/dataset",
-	"internal/pipeline",
-	"internal/scalefit",
-	"internal/baselines",
-	"internal/stats",
-	"internal/mat",
-	"internal/uncertainty",
-}
-
 // forbiddenRandImports are the generators that would silently break
 // seed-determinism (math/rand family) or are non-deterministic by design
-// (crypto/rand).
+// (crypto/rand). The module-wide import and call ban lives in randflow
+// (randflow.go); this analyzer keeps only the syntactic clock-seed check.
 var forbiddenRandImports = []string{"math/rand", "math/rand/v2", "crypto/rand"}
 
-// NoDirectRand forbids math/rand, math/rand/v2, and crypto/rand imports in
-// model/experiment packages (which must draw from internal/rng), and flags
-// wall-clock-derived seeding (time.Now inside a Seed/New* call) anywhere
-// in the module, including cmd/ where the clock itself is otherwise legal.
+// NoDirectRand flags wall-clock-derived seeding: a time.Now() call nested
+// in the arguments of anything spelled Seed(...) or New*(...), anywhere in
+// the module, including cmd/ where the clock itself is otherwise legal.
+// (The import ban on math/rand and crypto/rand used to live here behind a
+// package-subtree restricted list; randflow now enforces it module-wide —
+// strictly stronger — so the blunt list is gone.)
 var NoDirectRand = &Analyzer{
 	Name: "nodirectrand",
-	Doc:  "model/experiment packages must use internal/rng, never math/rand, crypto/rand, or time-based seeds",
+	Doc:  "no wall-clock-derived seeds: time.Now must not appear in the arguments of Seed/New* calls",
 	Run:  runNoDirectRand,
 }
 
 func runNoDirectRand(pass *Pass) {
-	rel := pass.RelPath()
-	restricted := false
-	for _, p := range randRestrictedPkgs {
-		if rel == p || strings.HasPrefix(rel, p+"/") {
-			restricted = true
-			break
-		}
-	}
-	if restricted {
-		// Import inspection is purely syntactic, so test files are held to
-		// the same standard: a test seeding from math/rand is as
-		// non-reproducible as library code doing it.
-		for _, f := range append(append([]*ast.File{}, pass.Files...), pass.TestFiles...) {
-			for _, imp := range f.Imports {
-				path, err := strconv.Unquote(imp.Path.Value)
-				if err != nil {
-					continue
-				}
-				for _, bad := range forbiddenRandImports {
-					if path == bad {
-						pass.Reportf(imp.Pos(), "import of %s in model/experiment package %s; draw randomness from internal/rng so one seed reproduces the run", path, pass.PkgPath)
-					}
-				}
-			}
-		}
-	}
-
 	// Clock-derived seeding: a call spelled Seed(...) or New*(...) with a
 	// time.Now() call anywhere in its arguments. This needs type info and
 	// runs over every package — cmd/ may read the clock, but must not feed

@@ -12,7 +12,6 @@ import (
 // byte-reproducible.
 var wallClockAllowedPkgs = []string{
 	"internal/serving",
-	"internal/lint", // the linter may time itself if it ever wants to
 	"cmd",
 }
 

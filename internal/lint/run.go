@@ -9,16 +9,37 @@ import (
 	"sort"
 )
 
-// Run executes the analyzers over every package of the module, applies
-// //lint:allow suppression, and returns the surviving findings sorted by
-// position.
+// Run executes the analyzers over the module, applies //lint:allow
+// suppression, and returns the surviving findings sorted by position.
 func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	diags, _ := runAll(mod, analyzers)
+	return diags
+}
+
+// runAll runs package- and module-scoped analyzers, filters suppressed
+// findings through a module-wide allow index (marking used sites for the
+// audit), and returns the sorted survivors plus the index.
+func runAll(mod *Module, analyzers []*Analyzer) ([]Diagnostic, *allowIndex) {
+	var allows *allowIndex
 	for _, pkg := range mod.Pkgs {
 		allFiles := append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
-		allows := collectAllows(mod.Fset, allFiles)
-		var pkgDiags []Diagnostic
+		allows = collectAllows(allows, mod.Fset, allFiles)
+	}
+	if allows == nil {
+		allows = collectAllows(nil, mod.Fset, nil)
+	}
+
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			a.RunModule(&ModulePass{Analyzer: a, Mod: mod, diags: &raw})
+		}
+	}
+	for _, pkg := range mod.Pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      mod.Fset,
@@ -28,17 +49,26 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 				TestFiles: pkg.TestFiles,
 				Pkg:       pkg.Types,
 				Info:      pkg.Info,
-				diags:     &pkgDiags,
+				diags:     &raw,
 			}
 			a.Run(pass)
 		}
-		for _, d := range pkgDiags {
-			if !allows.allowed(d) {
-				diags = append(diags, d)
-			}
+	}
+
+	var diags []Diagnostic
+	for _, d := range raw {
+		if !allows.suppress(d) {
+			diags = append(diags, d)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
+	sortDiagnostics(diags)
+	return diags, allows
+}
+
+// sortDiagnostics orders findings by position, then analyzer, then
+// message — a total order, so output is byte-identical across runs.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
@@ -49,9 +79,11 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
 }
 
 // --- shared AST/type helpers used by the analyzers ---

@@ -1,0 +1,563 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// taint.go is a forward, interprocedural taint engine over the call graph.
+// A configured source classifier marks call expressions as taint roots;
+// facts then propagate through assignments, composite literals, arithmetic,
+// conversions, returns, and call arguments/receivers — across function
+// boundaries via the parameter and result objects of module functions —
+// until a fixpoint. Sinks (specific calls, or writes into specific struct
+// types) report the SOURCE position, so one //lint:allow on the line that
+// reads the clock (or constructs the stream) suppresses every flow it
+// feeds, and responsibility sits where the value enters the program.
+//
+// Precision/soundness trade-offs (documented in DESIGN.md "Static
+// analysis v2"):
+//
+//   - Granularity is the types.Object: variables, parameters, and results.
+//     Struct fields are NOT tracked as shared objects — a field write
+//     taints the container value it was written through, and a field read
+//     is tainted iff its container is. Tracking field objects directly
+//     (field-sensitive, instance-INsensitive) was tried first and rejected:
+//     one tainted `entry.Time` write contaminated every Entry in the
+//     module, cascading hundreds of findings into unrelated commands.
+//     Instance-local containers lose cross-function aliasing flows (which
+//     the engine never promised — no alias analysis) and nothing else.
+//   - An object carries a SET of facts, one per distinct source. The
+//     engine is context-insensitive (a shared helper's parameter merges
+//     the taints of all its callers), so a single-fact lattice would let
+//     whichever source reaches a shared parameter first shadow every
+//     other source flowing through it. Per-source facts keep each
+//     (source, sink) pair independently reportable and suppressible.
+//   - Calls into packages outside the module (stdlib) propagate
+//     conservatively: a tainted argument or receiver taints the result,
+//     so laundering through fmt.Sprintf, time.Time.Format, or strconv
+//     stays visible. There are no sanitizers.
+//   - Comparison and boolean operators stop propagation: branching on a
+//     tainted value is not a data flow into an artifact (implicit flows
+//     are out of scope).
+//   - No alias analysis: writes through a pointer taint the pointer
+//     variable's object, not other names for the same storage.
+//   - Propagation across call boundaries is depth-bounded. Exceeding the
+//     bound REPORTS a give-up diagnostic (attributed to the source)
+//     instead of silently dropping the fact, so the bounded analysis
+//     fails closed.
+//
+// Facts only ever accumulate (per object, the first fact per source is
+// kept; the source set is finite), so the fixpoint terminates; rounds are
+// additionally capped, with a reported give-up on non-convergence.
+
+const (
+	// defaultTaintDepth bounds interprocedural hops per fact. Deep enough
+	// for every legitimate chain in this module (longest today is 5);
+	// exceeding it is reported, not ignored.
+	defaultTaintDepth = 12
+
+	// taintMaxRounds caps fixpoint iterations as a backstop; each round
+	// extends every fact chain by at least one hop, so depth-bounded
+	// analyses converge far earlier.
+	taintMaxRounds = 64
+)
+
+// taintSource is one taint root (e.g. a time.Now() call site).
+type taintSource struct {
+	pos  token.Pos
+	desc string
+}
+
+// taintFact records which source a value derives from and across how many
+// call boundaries the derivation traveled.
+type taintFact struct {
+	src   *taintSource
+	depth int
+}
+
+// factSet holds at most one fact per distinct source. Sets only grow, and
+// the per-source fact never changes once installed, so propagation is
+// monotone and the fixpoint terminates.
+type factSet []*taintFact
+
+// add installs f unless a fact from the same source exists; reports growth.
+func (s factSet) add(f *taintFact) (factSet, bool) {
+	for _, have := range s {
+		if have.src == f.src {
+			return s, false
+		}
+	}
+	return append(s, f), true
+}
+
+// merge unions two sets (first fact per source wins); reports growth.
+func (s factSet) merge(other factSet) (factSet, bool) {
+	grew := false
+	for _, f := range other {
+		var g bool
+		if s, g = s.add(f); g {
+			grew = true
+		}
+	}
+	return s, grew
+}
+
+// taintConfig parameterizes one engine run.
+type taintConfig struct {
+	maxDepth int
+
+	// isSource classifies a call as a taint root.
+	isSource func(pkg *Package, call *ast.CallExpr) (string, bool)
+	// callSink classifies a call as a sink; a tainted argument or
+	// receiver triggers report.
+	callSink func(pkg *Package, call *ast.CallExpr) (string, bool)
+	// structSinks maps "pkgpath.TypeName" to a description; assigning a
+	// tainted value to any field of such a type (directly or in a
+	// composite literal) triggers report.
+	structSinks map[string]string
+
+	// report receives each (source, sink) pair once.
+	report func(src *taintSource, sinkPos token.Pos, sink string)
+	// giveUp receives each (position, source) where the depth bound was
+	// hit once; src is nil for non-convergence.
+	giveUp func(pos token.Pos, src *taintSource)
+}
+
+type taintEngine struct {
+	cg  *CallGraph
+	cfg *taintConfig
+
+	objFacts map[types.Object]factSet
+	retFacts map[ast.Node]factSet // FuncDecl/FuncLit → some result tainted
+	srcPool  map[token.Pos]*taintSource
+	reported map[[2]token.Pos]bool
+	gaveUp   map[[2]token.Pos]bool
+	changed  bool
+}
+
+func newTaintEngine(cg *CallGraph, cfg *taintConfig) *taintEngine {
+	if cfg.maxDepth <= 0 {
+		cfg.maxDepth = defaultTaintDepth
+	}
+	return &taintEngine{
+		cg:       cg,
+		cfg:      cfg,
+		objFacts: map[types.Object]factSet{},
+		retFacts: map[ast.Node]factSet{},
+		srcPool:  map[token.Pos]*taintSource{},
+		reported: map[[2]token.Pos]bool{},
+		gaveUp:   map[[2]token.Pos]bool{},
+	}
+}
+
+// run drives the analysis to a fixpoint. All iteration is over the
+// deterministic call-graph order, so findings emerge in a stable order.
+func (e *taintEngine) run() {
+	for round := 0; round < taintMaxRounds; round++ {
+		e.changed = false
+		for _, fn := range e.cg.Funcs {
+			e.walkFunc(fn)
+		}
+		if !e.changed {
+			return
+		}
+	}
+	if len(e.cg.Funcs) > 0 {
+		e.cfg.giveUp(e.cg.Funcs[0].Node.Pos(), nil)
+	}
+}
+
+// walkFunc applies the transfer functions of one function body. Nested
+// literals are separate call-graph nodes and are skipped here.
+func (e *taintEngine) walkFunc(fn *FuncNode) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			e.handleAssign(fn.Pkg, n)
+		case *ast.ValueSpec:
+			e.handleValueSpec(fn.Pkg, n)
+		case *ast.ReturnStmt:
+			e.handleReturn(fn, n)
+		case *ast.RangeStmt:
+			e.handleRange(fn.Pkg, n)
+		case *ast.CallExpr:
+			e.handleCall(fn.Pkg, n)
+		case *ast.CompositeLit:
+			e.handleComposite(fn.Pkg, n)
+		}
+		return true
+	})
+}
+
+// --- transfer functions ---
+
+func (e *taintEngine) handleAssign(pkg *Package, as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// a, b := f(): one multi-value source taints every target.
+		if fs := e.taintOf(pkg, as.Rhs[0]); len(fs) > 0 {
+			for _, l := range as.Lhs {
+				e.taintLValue(pkg, l, fs)
+			}
+		}
+		return
+	}
+	for i, l := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		if fs := e.taintOf(pkg, as.Rhs[i]); len(fs) > 0 {
+			e.taintLValue(pkg, l, fs)
+		}
+	}
+}
+
+func (e *taintEngine) handleValueSpec(pkg *Package, vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		var fs factSet
+		if len(vs.Values) == 1 && len(vs.Names) > 1 {
+			fs = e.taintOf(pkg, vs.Values[0])
+		} else if i < len(vs.Values) {
+			fs = e.taintOf(pkg, vs.Values[i])
+		}
+		if len(fs) > 0 {
+			e.taintLValue(pkg, name, fs)
+		}
+	}
+}
+
+func (e *taintEngine) handleReturn(fn *FuncNode, rs *ast.ReturnStmt) {
+	if len(rs.Results) == 0 {
+		// Bare return: named results carry whatever they were assigned.
+		for _, obj := range fn.ResultObjs {
+			if obj == nil {
+				continue
+			}
+			e.setRetFacts(fn.Node, e.objFacts[obj])
+		}
+		return
+	}
+	for _, res := range rs.Results {
+		e.setRetFacts(fn.Node, e.taintOf(fn.Pkg, res))
+	}
+}
+
+func (e *taintEngine) handleRange(pkg *Package, rs *ast.RangeStmt) {
+	fs := e.taintOf(pkg, rs.X)
+	if len(fs) == 0 {
+		return
+	}
+	if rs.Key != nil {
+		e.taintLValue(pkg, rs.Key, fs)
+	}
+	if rs.Value != nil {
+		e.taintLValue(pkg, rs.Value, fs)
+	}
+}
+
+// handleCall performs the side effects of a call site: sink detection and
+// interprocedural propagation into module callees.
+func (e *taintEngine) handleCall(pkg *Package, call *ast.CallExpr) {
+	if desc, ok := e.cfg.callSink(pkg, call); ok {
+		for _, f := range e.argOrRecvTaint(pkg, call) {
+			e.reportSink(f.src, call.Pos(), desc)
+		}
+	}
+
+	var fn *FuncNode
+	if obj := staticCallee(pkg.Info, call); obj != nil {
+		fn = e.cg.FuncByObj(obj)
+	} else if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		fn = e.cg.FuncByLit(lit)
+	}
+	if fn == nil {
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && fn.RecvObj != nil {
+		e.setObjFacts(fn.RecvObj, e.hop(e.taintOf(pkg, sel.X), call.Pos()))
+	}
+	for i, arg := range call.Args {
+		fs := e.taintOf(pkg, arg)
+		if len(fs) == 0 {
+			continue
+		}
+		var param types.Object
+		switch {
+		case i < len(fn.ParamObjs):
+			param = fn.ParamObjs[i]
+		case fn.Variadic && len(fn.ParamObjs) > 0:
+			param = fn.ParamObjs[len(fn.ParamObjs)-1]
+		}
+		if param != nil {
+			e.setObjFacts(param, e.hop(fs, call.Pos()))
+		}
+	}
+}
+
+// handleComposite reports tainted elements of sink-typed literals.
+func (e *taintEngine) handleComposite(pkg *Package, cl *ast.CompositeLit) {
+	desc, ok := e.structSinkType(pkg.Info.Types[cl].Type)
+	if !ok {
+		return
+	}
+	for _, elt := range cl.Elts {
+		v := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		for _, f := range e.taintOf(pkg, v) {
+			e.reportSink(f.src, v.Pos(), desc)
+		}
+	}
+}
+
+// taintLValue records that the storage behind l now holds tainted values.
+func (e *taintEngine) taintLValue(pkg *Package, l ast.Expr, fs factSet) {
+	switch l := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := pkg.Info.Defs[l]
+		if obj == nil {
+			obj = pkg.Info.Uses[l]
+		}
+		if obj != nil {
+			e.setObjFacts(obj, fs)
+		}
+	case *ast.SelectorExpr:
+		// x.F = v: sink check on F's owner, then taint the container so
+		// later uses of x (passing it to a writer, returning it) carry the
+		// fact. The field object itself is deliberately not tracked — see
+		// the package comment on instance-locality.
+		if desc, ok := e.structSinkType(pkg.Info.TypeOf(l.X)); ok {
+			for _, f := range fs {
+				e.reportSink(f.src, l.Sel.Pos(), desc)
+			}
+		}
+		e.taintLValue(pkg, l.X, fs)
+	case *ast.IndexExpr:
+		e.taintLValue(pkg, l.X, fs) // element write taints the container
+	case *ast.StarExpr:
+		e.taintLValue(pkg, l.X, fs) // *p = v taints p (no alias analysis)
+	}
+}
+
+// --- expression taint (side-effect free except give-up dedup) ---
+
+func (e *taintEngine) taintOf(pkg *Package, x ast.Expr) factSet {
+	info := pkg.Info
+	switch x := x.(type) {
+	case *ast.ParenExpr:
+		return e.taintOf(pkg, x.X)
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if obj == nil {
+			return nil
+		}
+		return e.objFacts[obj]
+	case *ast.SelectorExpr:
+		// A field read is tainted iff its container is (instance-local);
+		// a package-qualified name (pkg.Var) resolves through the object.
+		if fs := e.taintOf(pkg, x.X); len(fs) > 0 {
+			return fs
+		}
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				if obj := info.Uses[x.Sel]; obj != nil {
+					return e.objFacts[obj]
+				}
+			}
+		}
+		return nil
+	case *ast.CallExpr:
+		return e.callTaint(pkg, x)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			return nil // booleans do not carry the value
+		}
+		fs, _ := e.taintOf(pkg, x.X).merge(e.taintOf(pkg, x.Y))
+		return fs
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			return nil
+		}
+		return e.taintOf(pkg, x.X)
+	case *ast.StarExpr:
+		return e.taintOf(pkg, x.X)
+	case *ast.IndexExpr:
+		return e.taintOf(pkg, x.X)
+	case *ast.IndexListExpr:
+		return e.taintOf(pkg, x.X)
+	case *ast.SliceExpr:
+		return e.taintOf(pkg, x.X)
+	case *ast.TypeAssertExpr:
+		return e.taintOf(pkg, x.X)
+	case *ast.KeyValueExpr:
+		return e.taintOf(pkg, x.Value)
+	case *ast.CompositeLit:
+		var fs factSet
+		for _, elt := range x.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			fs, _ = fs.merge(e.taintOf(pkg, v))
+		}
+		return fs
+	case *ast.FuncLit:
+		// The literal as a value: calling it later yields its return taint.
+		return e.retFacts[x]
+	}
+	return nil
+}
+
+// callTaint computes the taint of a call expression's result.
+func (e *taintEngine) callTaint(pkg *Package, call *ast.CallExpr) factSet {
+	info := pkg.Info
+	if desc, ok := e.cfg.isSource(pkg, call); ok {
+		src := e.srcPool[call.Pos()]
+		if src == nil {
+			src = &taintSource{pos: call.Pos(), desc: desc}
+			e.srcPool[call.Pos()] = src
+		}
+		return factSet{&taintFact{src: src}}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion T(x): taint passes through.
+		if len(call.Args) == 1 {
+			return e.taintOf(pkg, call.Args[0])
+		}
+		return nil
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append", "min", "max":
+				var fs factSet
+				for _, a := range call.Args {
+					fs, _ = fs.merge(e.taintOf(pkg, a))
+				}
+				return fs
+			}
+			// len, cap, make, new, delete, copy, ... yield no tainted value.
+			return nil
+		}
+	}
+	if obj := staticCallee(info, call); obj != nil {
+		if fn := e.cg.FuncByObj(obj); fn != nil {
+			return e.hop(e.retFacts[fn.Node], call.Pos())
+		}
+		return e.externalCallTaint(pkg, call)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return e.hop(e.retFacts[lit], call.Pos())
+	}
+	// Indirect call through a variable or field: conservative.
+	if fs := e.taintOf(pkg, call.Fun); len(fs) > 0 {
+		return fs
+	}
+	return e.externalCallTaint(pkg, call)
+}
+
+// externalCallTaint is the conservative rule for functions without a body
+// in the module: a tainted receiver or argument taints the result.
+func (e *taintEngine) externalCallTaint(pkg *Package, call *ast.CallExpr) factSet {
+	return e.argOrRecvTaint(pkg, call)
+}
+
+// argOrRecvTaint unions the taints of a call's receiver and arguments.
+func (e *taintEngine) argOrRecvTaint(pkg *Package, call *ast.CallExpr) factSet {
+	var fs factSet
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := pkg.Info.Selections[sel]; isMethod {
+			fs, _ = fs.merge(e.taintOf(pkg, sel.X))
+		}
+	}
+	for _, a := range call.Args {
+		fs, _ = fs.merge(e.taintOf(pkg, a))
+	}
+	return fs
+}
+
+// --- fact bookkeeping ---
+
+// setObjFacts unions facts into an object's set. Per-source first fact
+// wins: sets only grow, guaranteeing a monotone fixpoint.
+func (e *taintEngine) setObjFacts(obj types.Object, fs factSet) {
+	if len(fs) == 0 || obj == nil {
+		return
+	}
+	merged, grew := e.objFacts[obj].merge(fs)
+	if grew {
+		e.objFacts[obj] = merged
+		e.changed = true
+	}
+}
+
+func (e *taintEngine) setRetFacts(node ast.Node, fs factSet) {
+	if len(fs) == 0 {
+		return
+	}
+	merged, grew := e.retFacts[node].merge(fs)
+	if grew {
+		e.retFacts[node] = merged
+		e.changed = true
+	}
+}
+
+// hop crosses one call boundary, enforcing the depth bound per fact.
+// Exceeding it reports a give-up (once per position and source) and drops
+// that fact; the rest pass through one hop deeper.
+func (e *taintEngine) hop(fs factSet, pos token.Pos) factSet {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make(factSet, 0, len(fs))
+	for _, f := range fs {
+		if f.depth+1 > e.cfg.maxDepth {
+			key := [2]token.Pos{pos, f.src.pos}
+			if !e.gaveUp[key] {
+				e.gaveUp[key] = true
+				e.cfg.giveUp(pos, f.src)
+			}
+			continue
+		}
+		out = append(out, &taintFact{src: f.src, depth: f.depth + 1})
+	}
+	return out
+}
+
+func (e *taintEngine) reportSink(src *taintSource, sinkPos token.Pos, desc string) {
+	key := [2]token.Pos{src.pos, sinkPos}
+	if e.reported[key] {
+		return
+	}
+	e.reported[key] = true
+	e.cfg.report(src, sinkPos, desc)
+}
+
+// structSinkType matches a (possibly pointer) named struct type against
+// the configured sinks.
+func (e *taintEngine) structSinkType(t types.Type) (string, bool) {
+	if len(e.cfg.structSinks) == 0 || t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	desc, ok := e.cfg.structSinks[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+	return desc, ok
+}

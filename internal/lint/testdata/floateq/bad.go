@@ -1,40 +1,45 @@
 // Fixture: float equality comparisons; marked lines must be flagged,
-// the rest must not.
+// the rest must not. Constant comparands (x == 0, x == eps) are exempt —
+// the sentinel/guard idiom is exact by construction.
 package fixture
 
 func eq(a, b float64) bool {
 	return a == b // want floateq
 }
 
-func zeroGuard(a float64) bool {
-	return a != 0 // want floateq
-}
-
 func nanCheck(a float64) bool {
 	return a != a // want floateq
 }
 
-func narrow(a float32) bool {
-	return a == 1.5 // want floateq
+func narrow(a, b float32) bool {
+	return a == b // want floateq
 }
 
-func allowedGuard(a float64) bool {
-	//lint:allow floateq -- fixture: intentional exact guard, suppressed
-	return a == 0
+func computed(a, b float64) bool {
+	return a*2 == b+1 // want floateq
 }
 
-func inlineAllowed(a float64) bool {
-	return a == 0 //lint:allow floateq -- fixture: inline form
+func allowedGuard(a, b float64) bool {
+	//lint:allow floateq -- fixture: intentional exact comparison, suppressed
+	return a == b
 }
 
-func wrongAllow(a float64) bool {
-	return a == 2 //lint:allow nowallclock -- fixture: wrong analyzer name must not suppress // want floateq
+func inlineAllowed(a, b float64) bool {
+	return a == b //lint:allow floateq -- fixture: inline form
+}
+
+func wrongAllow(a, b float64) bool {
+	return a == b //lint:allow nowallclock -- fixture: wrong analyzer name must not suppress // want floateq
 }
 
 func ints(a, b int) bool { return a == b }
 
 const eps = 1e-9
 
-func constFold() bool { return eps == 1e-9 } // constant comparison: compile-time exact
-
+// Constant on either side: the sentinel/guard idiom, exempt.
+func zeroGuard(a float64) bool  { return a != 0 }
+func epsGuard(a float64) bool   { return a == eps }
+func narrowLit(a float32) bool  { return a == 1.5 }
+func constFold() bool           { return eps == 1e-9 }
+func flipped(a float64) bool    { return 0 == a }
 func ordered(a, b float64) bool { return a < b } // inequalities are fine

@@ -1,0 +1,12 @@
+// audit.go carries deliberately broken directives for the audit tests:
+// one stale (the comparison is between ints, floateq never fires) and one
+// naming an analyzer that does not exist.
+package main
+
+func intsEqual(a, b int) bool {
+	//lint:allow floateq -- fixture: stale, ints are not floats
+	return a == b
+}
+
+//lint:allow nosuchanalyzer -- fixture: unknown analyzer name
+func unusedHelper() int { return 0 }

@@ -1,0 +1,20 @@
+// Package pipeline mirrors the real repro/internal/pipeline journal
+// surface for the clockflow sink table.
+package pipeline
+
+// Entry is a persisted journal record: a struct sink for clockflow.
+type Entry struct {
+	Time string
+	Op   string
+}
+
+// Journal persists entries; Append is a call sink for clockflow.
+type Journal struct {
+	entries []Entry
+}
+
+// Append records one entry.
+func (j *Journal) Append(e Entry) error {
+	j.entries = append(j.entries, e)
+	return nil
+}

@@ -1,0 +1,25 @@
+// Package rng mirrors the real repro/internal/rng constructor surface so
+// randflow resolves the same seed sinks and stream type.
+package rng
+
+// Source is a deterministic stream; not safe for concurrent use.
+type Source struct {
+	state uint64
+}
+
+// New derives a root stream from an integer seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// NewStream derives an independent stream.
+func NewStream(seed, stream uint64) *Source { return &Source{state: seed ^ stream} }
+
+// Split derives a child stream; the sanctioned per-goroutine pattern.
+func (s *Source) Split() *Source {
+	return NewStream(s.Uint64(), s.Uint64())
+}
+
+// Uint64 draws the next value.
+func (s *Source) Uint64() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state
+}

@@ -1,0 +1,131 @@
+// Fixture: goroutine closures mutating captured state. Marked lines must
+// be flagged; the disjoint-slice-index fan-out, guarded writes, and
+// correctly ordered WaitGroup uses must stay silent.
+package fixture
+
+import "sync"
+
+func mapWrite() {
+	m := map[string]int{}
+	go func() {
+		m["k"] = 1 // want goroutineshare
+	}()
+}
+
+func appendReassign() {
+	var s []int
+	go func() {
+		s = append(s, 1) // want goroutineshare
+	}()
+}
+
+func scalarWrite() {
+	n := 0
+	go func() {
+		n = 1 // want goroutineshare
+	}()
+	_ = n
+}
+
+func scalarIncrement() {
+	n := 0
+	go func() {
+		n++ // want goroutineshare
+	}()
+	_ = n
+}
+
+type box struct{ v int }
+
+func fieldWrite() {
+	b := &box{}
+	go func() {
+		b.v = 1 // want goroutineshare
+	}()
+}
+
+func pointerWrite() {
+	x := 0
+	p := &x
+	go func() {
+		*p = 2 // want goroutineshare
+	}()
+}
+
+// disjointSlots is the sanctioned fan-out: each goroutine owns index i.
+func disjointSlots(f func(int) float64) []float64 {
+	out := make([]float64, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// mutexGuarded acquires a lock before the captured write.
+func mutexGuarded() {
+	var mu sync.Mutex
+	cnt := 0
+	go func() {
+		mu.Lock()
+		cnt++
+		mu.Unlock()
+	}()
+	mu.Lock()
+	_ = cnt
+	mu.Unlock()
+}
+
+// channelGuarded synchronizes through a receive before writing.
+func channelGuarded() {
+	ready := make(chan struct{})
+	n := 0
+	go func() {
+		<-ready
+		n = 1
+	}()
+	close(ready)
+	_ = n
+}
+
+// localState writes only goroutine-local variables.
+func localState() {
+	go func() {
+		x := 0
+		x++
+		_ = x
+	}()
+}
+
+func addAfterGo(work func()) {
+	var wg sync.WaitGroup
+	go work()
+	wg.Add(1) // want goroutineshare
+	wg.Wait()
+}
+
+func addInsideGoroutine(work func()) {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want goroutineshare
+		work()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// addBeforeGo is the correct ordering.
+func addBeforeGo(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}

@@ -1,22 +1,23 @@
-// Fixture: known-bad randomness sources. Checked under a restricted
-// package path (repro/internal/tree) by the tests; `// want <analyzer>`
-// comments mark the lines that must be flagged.
+// Fixture: known-bad randomness sources. nodirectrand flags the
+// clock-derived seeds; randflow flags the forbidden imports and every
+// resolved call into them. `// want <analyzer>` comments mark the lines
+// each analyzer must flag.
 package fixture
 
 import (
-	crand "crypto/rand" // want nodirectrand
-	"math/rand"         // want nodirectrand
+	crand "crypto/rand" // want randflow
+	"math/rand"         // want randflow
 	"time"
 )
 
 func draw() float64 {
-	return rand.New(rand.NewSource(time.Now().UnixNano())).Float64() // want nodirectrand
+	return rand.New(rand.NewSource(time.Now().UnixNano())).Float64() // want nodirectrand randflow
 }
 
 func fill(b []byte) {
-	_, _ = crand.Read(b)
+	_, _ = crand.Read(b) // want randflow
 }
 
 func reseed(r *rand.Rand) {
-	r.Seed(time.Now().Unix()) // want nodirectrand
+	r.Seed(time.Now().Unix()) // want nodirectrand randflow
 }

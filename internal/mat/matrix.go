@@ -130,7 +130,6 @@ func Scale(alpha float64, x []float64) {
 func Norm2(x []float64) float64 {
 	var scale, ssq float64 = 0, 1
 	for _, v := range x {
-		//lint:allow floateq -- sparsity fast path: skip entries stored as literal 0
 		if v == 0 {
 			continue
 		}

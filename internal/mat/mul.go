@@ -67,7 +67,6 @@ func mulRange(out, a, b *Dense, rlo, rhi int) {
 			orow := out.Row(i)
 			for k := kb; k < kend; k++ {
 				aik := arow[k]
-				//lint:allow floateq -- sparsity fast path: skip entries stored as literal 0
 				if aik == 0 {
 					continue
 				}
@@ -89,7 +88,6 @@ func MulATA(a *Dense) *Dense {
 		row := a.Row(r)
 		for i := 0; i < n; i++ {
 			vi := row[i]
-			//lint:allow floateq -- sparsity fast path: skip entries stored as literal 0
 			if vi == 0 {
 				continue
 			}

@@ -77,7 +77,6 @@ func NNLS(a *Dense, b []float64) []float64 {
 				}
 			}
 			for j := 0; j < n; j++ {
-				//lint:allow floateq -- exact sentinel: the active-set update literally assigns 0 above
 				if passive[j] && x[j] == 0 {
 					passive[j] = false
 				}
@@ -91,7 +90,6 @@ func NNLS(a *Dense, b []float64) []float64 {
 		for i := 0; i < m; i++ {
 			row := a.Row(i)
 			for j := 0; j < n; j++ {
-				//lint:allow floateq -- sparsity fast path: skip coefficients stored as literal 0
 				if x[j] != 0 {
 					resid[i] -= row[j] * x[j]
 				}
@@ -137,7 +135,6 @@ func solvePassive(a *Dense, b []float64, passive []bool) []float64 {
 	if err != nil {
 		gram := MulATA(sub)
 		scale := NormInf(gram.Data)
-		//lint:allow floateq -- exact guard: the Gram norm is literal 0 only for an all-zero subproblem
 		if scale == 0 || math.IsNaN(scale) {
 			return out
 		}

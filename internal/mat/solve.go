@@ -152,7 +152,6 @@ func (f *QR) Solve(b []float64) ([]float64, error) {
 	// back substitution against R
 	x := make([]float64, f.n)
 	for i := f.n - 1; i >= 0; i-- {
-		//lint:allow floateq -- exact sentinel: the factorization stores literal 0 for a singular pivot
 		if f.rd[i] == 0 {
 			return nil, ErrSingular
 		}

@@ -44,7 +44,6 @@ func (t Term) String() string {
 	switch {
 	case t.B == 0:
 		return fmt.Sprintf("p^%g", t.A)
-	//lint:allow floateq -- exact identity: term exponents come from literal hypothesis grids
 	case t.A == 0:
 		return fmt.Sprintf("log2(p)^%d", t.B)
 	default:
@@ -62,7 +61,6 @@ func DefaultHypotheses() []Term {
 	var out []Term
 	for _, a := range as {
 		for _, b := range bs {
-			//lint:allow floateq -- exact identity: exponents come from literal hypothesis grids; skip the constant term
 			if a == 0 && b == 0 {
 				continue
 			}
@@ -85,7 +83,6 @@ func ScalabilityBasis() []Term {
 	var out []Term
 	for _, a := range as {
 		for _, b := range bs {
-			//lint:allow floateq -- exact identity: exponents come from literal hypothesis grids; skip the constant term
 			if a == 0 && b == 0 {
 				continue
 			}

@@ -235,7 +235,6 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("at=%d must be >= 1", req.At))
 		return
 	}
-	//lint:allow floateq -- exact sentinel: 0 is the JSON zero value marking an unset interval field
 	if req.Interval != 0 {
 		if req.At != 0 {
 			writeError(w, http.StatusBadRequest, "interval is incompatible with at; request all target scales")

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
-	"math/rand"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -15,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/rng"
 )
 
 // doJSON posts a body (or GETs when body is nil) and decodes the reply.
@@ -316,7 +316,7 @@ func TestConcurrentLoadAndHotReload(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			rnd := rand.New(rand.NewSource(int64(c)))
+			rnd := rng.New(uint64(c))
 			for i := 0; i < perClient; i++ {
 				p := params[rnd.Intn(len(params))]
 				raw, _ := json.Marshal(PredictRequest{Params: p})

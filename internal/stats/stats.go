@@ -144,7 +144,6 @@ func APE(yTrue, yPred []float64) []float64 {
 	checkPaired(yTrue, yPred)
 	out := make([]float64, 0, len(yTrue))
 	for i, yt := range yTrue {
-		//lint:allow floateq -- divide-by-zero guard: APE is undefined at an exactly-zero truth
 		if yt == 0 {
 			continue
 		}
@@ -199,7 +198,6 @@ func R2(yTrue, yPred []float64) float64 {
 		t := yTrue[i] - m
 		ssTot += t * t
 	}
-	//lint:allow floateq -- exact guard: total sum of squares is literal 0 only for a constant series
 	if ssTot == 0 {
 		return 0
 	}
@@ -219,7 +217,6 @@ func Pearson(x, y []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	//lint:allow floateq -- exact guard: variance is literal 0 only for a constant series
 	if sxx == 0 || syy == 0 {
 		return 0
 	}
