@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint lint-audit lint-sarif test race bench bench-hotpath bench-uncertainty bench-check bench-paper bench-serving clean
+.PHONY: verify build vet lint lint-audit lint-sarif test race bench bench-hotpath bench-uncertainty bench-load bench-check bench-paper bench-serving clean
 
 verify: build vet lint lint-audit race
 
@@ -70,6 +70,20 @@ bench-uncertainty:
 	$(GO) run ./cmd/benchjson -in bench-uncertainty.out -out BENCH_uncertainty.json
 	@rm -f bench-uncertainty.out
 
+# Load-management baseline (admission fast path, end-to-end saturated
+# throughput through cmd/loadgen's closed-loop engine), committed as
+# BENCH_loadctl.json. The Acquire/Release cycle must stay allocation-
+# free; regenerate when a PR intentionally changes admission-path cost.
+bench-load:
+	$(GO) test -run='^$$' -benchmem -benchtime=10000x \
+		-bench='^(BenchmarkAcquireRelease|BenchmarkAcquireReleaseParallel)$$' \
+		./internal/loadctl/ > bench-load.out
+	$(GO) test -run='^$$' -benchmem -benchtime=500x \
+		-bench='^BenchmarkLoadSaturation$$' \
+		./cmd/loadgen/ >> bench-load.out
+	$(GO) run ./cmd/benchjson -in bench-load.out -out BENCH_loadctl.json
+	@rm -f bench-load.out
+
 # CI smoke: re-run both benchmark suites and fail on a >2x ns/op or
 # allocs/op regression against the committed baselines. The generous
 # tolerance absorbs shared-runner noise while still catching real
@@ -88,7 +102,11 @@ bench-check:
 		-bench='^(BenchmarkConformalCalibrate|BenchmarkConformalFactor|BenchmarkMonitorObserve|BenchmarkServePredictInterval)$$' \
 		./internal/uncertainty/ ./internal/serving/ > bench-uncertainty.out
 	$(GO) run ./cmd/benchjson -in bench-uncertainty.out -compare BENCH_uncertainty.json -tolerance 2.0
-	@rm -f bench.out bench-hotpath.out bench-uncertainty.out
+	$(GO) test -run='^$$' -benchmem -benchtime=10000x \
+		-bench='^(BenchmarkAcquireRelease|BenchmarkAcquireReleaseParallel)$$' \
+		./internal/loadctl/ > bench-load.out
+	$(GO) run ./cmd/benchjson -in bench-load.out -compare BENCH_loadctl.json -tolerance 2.0
+	@rm -f bench.out bench-hotpath.out bench-uncertainty.out bench-load.out
 
 # Reduced-size reconstruction of every table/figure plus the core
 # micro-benchmarks; see bench_test.go.

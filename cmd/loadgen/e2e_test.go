@@ -1,0 +1,259 @@
+package main
+
+import (
+	"net"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hpcsim"
+	"repro/internal/loadctl"
+	"repro/internal/rng"
+	"repro/internal/serving"
+)
+
+// The e2e tests share one small fitted model; fitting dominates test
+// wall-clock and the model is immutable.
+var (
+	fixtureOnce  sync.Once
+	fixtureModel *core.TwoLevelModel
+	fixtureErr   error
+)
+
+func testModel(tb testing.TB) *core.TwoLevelModel {
+	tb.Helper()
+	fixtureOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.SmallScales = []int{2, 4, 8, 16, 32, 64}
+		cfg.LargeScales = []int{128, 256, 512}
+		cfg.Forest.Trees = 10
+		cfg.CVLambdas = 4
+
+		app := hpcsim.NewSMG()
+		eng := hpcsim.NewEngine(nil, 11)
+		r := rng.New(21)
+		trainCfgs := app.Space().SampleLatinHypercube(r, 24)
+		train, err := eng.GenerateHistory(app, hpcsim.HistorySpec{Configs: trainCfgs, Scales: cfg.SmallScales, Reps: 1})
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		anchors, err := eng.GenerateHistory(app, hpcsim.HistorySpec{Configs: trainCfgs[:12], Scales: cfg.LargeScales, Reps: 1})
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		train.Merge(anchors)
+		fixtureModel, fixtureErr = core.Fit(rng.New(22), train, cfg)
+	})
+	if fixtureErr != nil {
+		tb.Fatalf("fitting fixture model: %v", fixtureErr)
+	}
+	return fixtureModel
+}
+
+// newLoadServer builds a serving.Server over the fixture model.
+func newLoadServer(tb testing.TB, opts serving.Options) *serving.Server {
+	tb.Helper()
+	reg := serving.NewRegistry()
+	reg.Install("default", testModel(tb))
+	return serving.New(reg, opts)
+}
+
+// TestSaturation is the saturation demo from the issue: a closed-loop
+// burst far above the sustainable rate (fixed limit 2 × 5ms synthetic
+// service time ≈ 400 rps sustainable; 32 workers hammer much harder).
+// The server must answer every request — 200 or an immediate 503 with
+// Retry-After, never a hang — keep accepted latency bounded, and its
+// shed counters must account for every 503.
+func TestSaturation(t *testing.T) {
+	srv := newLoadServer(t, serving.Options{
+		CacheSize: 0, // every request computes, so SyntheticDelay is the service time
+		Load: loadctl.Config{
+			InitialLimit: 2, FixedLimit: true, QueueCapacity: 8,
+			TargetLatency: 100 * time.Millisecond,
+		},
+		SyntheticDelay: 5 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	eng, err := NewEngine(Options{
+		URL: ts.URL, Mode: "closed", Requests: 300, Conns: 32, Seed: 9,
+		Mix: Mix{Point: 0.8, Interval: 0.1, Batch: 0.1}, BatchSize: 4, Distinct: 32,
+	}, len(testModel(t).ParamNames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rep := eng.Run()
+
+	if rep.Errors != 0 || rep.Truncated != 0 {
+		t.Fatalf("errors=%d truncated=%d, want 0 (every request must get 200 or 503)", rep.Errors, rep.Truncated)
+	}
+	if rep.Accepted+rep.Shed != rep.Requests {
+		t.Fatalf("accepted %d + shed %d != %d requests", rep.Accepted, rep.Shed, rep.Requests)
+	}
+	if rep.Shed == 0 {
+		t.Fatal("overload produced zero sheds: admission control not engaging")
+	}
+	if rep.MissingRetryAfter != 0 {
+		t.Fatalf("%d sheds missing Retry-After", rep.MissingRetryAfter)
+	}
+	// Bounded queue (8) over fixed limit 2 at 5ms service: accepted
+	// latency is structurally bounded; 1s passes with a wide CI margin
+	// while still catching unbounded queuing.
+	if rep.AcceptedLatency.P99MS > 1000 {
+		t.Fatalf("accepted p99 %.1fms: queueing unbounded", rep.AcceptedLatency.P99MS)
+	}
+
+	snap := srv.LoadController().Snapshot()
+	if got := snap.ShedTotal(); got != int64(rep.Shed) {
+		t.Fatalf("controller sheds %d != client-observed 503s %d (every rejection must be accounted)", got, rep.Shed)
+	}
+	if got := snap.Completed + snap.DegradedServed; got != int64(rep.Accepted) {
+		t.Fatalf("completed %d + degraded-served %d != accepted %d", snap.Completed, snap.DegradedServed, rep.Accepted)
+	}
+	if snap.InFlight != 0 || snap.Queued != 0 {
+		t.Fatalf("controller not drained: in_flight=%d queued=%d", snap.InFlight, snap.Queued)
+	}
+}
+
+// TestSaturationDeterministicWorkload re-runs the saturation workload
+// generation under the same seed and checks the server sees the same
+// byte stream — the reproducibility half of the acceptance criteria
+// (admission decisions depend on timing; the offered load must not).
+func TestSaturationDeterministicWorkload(t *testing.T) {
+	opts := Options{
+		URL: "http://unused", Mode: "closed", Requests: 300, Conns: 32, Seed: 9,
+		Mix: Mix{Point: 0.8, Interval: 0.1, Batch: 0.1}, BatchSize: 4, Distinct: 32,
+	}
+	a, err := NewEngine(opts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEngine(opts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Items() {
+		if string(a.Items()[i].body) != string(b.Items()[i].body) {
+			t.Fatalf("request %d differs between identically seeded runs", i)
+		}
+	}
+}
+
+// TestShutdownUnderLoad drains the server mid-burst: every accepted
+// (200) response must arrive whole, the drain must flip /healthz, and
+// the process must return to its goroutine baseline — no leaked
+// handlers, waiters, or client connections. Run under -race.
+func TestShutdownUnderLoad(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	srv := newLoadServer(t, serving.Options{
+		CacheSize: 0,
+		Load: loadctl.Config{
+			InitialLimit: 4, FixedLimit: true, QueueCapacity: 16,
+			TargetLatency: 100 * time.Millisecond,
+		},
+		SyntheticDelay: 2 * time.Millisecond,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := serving.NewGraceful(l.Addr().String(), srv.Handler(), 10*time.Second)
+	g.PreDrain = srv.BeginDrain
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- g.Serve(l) }()
+
+	eng, err := NewEngine(Options{
+		URL: "http://" + l.Addr().String(), Mode: "closed", Requests: 600, Conns: 16, Seed: 5,
+		Mix: Mix{Point: 0.8, Interval: 0.1, Batch: 0.1}, BatchSize: 4, Distinct: 32,
+	}, len(testModel(t).ParamNames))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	repCh := make(chan *Report, 1)
+	go func() { repCh <- eng.Run() }()
+
+	// Let the burst establish, then drain mid-flight.
+	time.Sleep(50 * time.Millisecond)
+	if err := g.Shutdown(); err != nil {
+		t.Fatalf("shutdown during load: %v", err)
+	}
+	if !srv.Draining() {
+		t.Fatal("PreDrain did not mark the server draining")
+	}
+	rep := <-repCh
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+
+	// Zero dropped in-flight accepted requests: anything the server
+	// accepted arrived whole. Requests after the listener closed fail at
+	// the transport level, which is expected and counted separately.
+	if rep.Truncated != 0 {
+		t.Fatalf("%d accepted responses truncated by shutdown", rep.Truncated)
+	}
+	if rep.Accepted == 0 {
+		t.Fatal("no requests completed before drain; burst never established")
+	}
+	if rep.MissingRetryAfter != 0 {
+		t.Fatalf("%d sheds missing Retry-After", rep.MissingRetryAfter)
+	}
+
+	// The controller must drain with the connections.
+	snap := srv.LoadController().Snapshot()
+	if snap.InFlight != 0 || snap.Queued != 0 {
+		t.Fatalf("controller not drained: in_flight=%d queued=%d", snap.InFlight, snap.Queued)
+	}
+
+	// Goroutine count returns to baseline once client conns close.
+	eng.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// BenchmarkLoadSaturation measures end-to-end throughput of the
+// admission-controlled predict path under a closed-loop burst (cache
+// on, so the steady state exercises the fast admit path).
+func BenchmarkLoadSaturation(b *testing.B) {
+	srv := newLoadServer(b, serving.Options{
+		CacheSize: 4096,
+		Load:      loadctl.Config{InitialLimit: 16, FixedLimit: true, QueueCapacity: 64},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	eng, err := NewEngine(Options{
+		URL: ts.URL, Mode: "closed", Requests: b.N, Conns: 16, Seed: 3,
+		Mix: Mix{Point: 1}, Distinct: 64,
+	}, len(testModel(b).ParamNames))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ResetTimer()
+	rep := eng.Run()
+	b.StopTimer()
+	if rep.Errors != 0 {
+		b.Fatalf("%d transport errors", rep.Errors)
+	}
+	b.ReportMetric(rep.Throughput, "req/s")
+	b.ReportMetric(rep.AcceptedLatency.P99MS, "p99-ms")
+}

@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/serving"
+)
+
+// Mix is the workload composition by priority class; weights are
+// normalized, so any positive scale works.
+type Mix struct {
+	Point    float64
+	Interval float64
+	Batch    float64
+}
+
+// parseMix parses "point=0.6,interval=0.3,batch=0.1".
+func parseMix(s string) (Mix, error) {
+	m := Mix{}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("mix component %q: want name=weight", part)
+		}
+		var w float64
+		if _, err := fmt.Sscanf(val, "%g", &w); err != nil || w < 0 {
+			return m, fmt.Errorf("mix component %q: bad weight", part)
+		}
+		switch name {
+		case "point":
+			m.Point = w
+		case "interval":
+			m.Interval = w
+		case "batch":
+			m.Batch = w
+		default:
+			return m, fmt.Errorf("mix component %q: unknown class", name)
+		}
+	}
+	if m.Point+m.Interval+m.Batch <= 0 {
+		return m, fmt.Errorf("mix %q: all weights zero", s)
+	}
+	return m, nil
+}
+
+// Options configures one load-generation run.
+type Options struct {
+	URL   string // server base URL
+	Model string // model name in request bodies ("" = server default)
+
+	Mode     string        // "open" (paced arrivals) or "closed" (worker loop)
+	Rate     float64       // open-loop arrival rate, requests/second
+	Duration time.Duration // open-loop run length
+	Conns    int           // closed-loop worker count / open-loop outstanding cap
+	Requests int           // closed-loop total request count
+
+	Mix        Mix
+	BatchSize  int // configurations per batch request
+	Distinct   int // distinct configurations (controls the cache-hit ratio)
+	DeadlineMS int // X-Deadline-Ms header value; 0 sends no header
+
+	Seed uint64
+}
+
+// workItem is one pre-generated request: the body bytes are built before
+// the run starts so the hot loop does no marshaling and the workload is
+// a pure function of the seed.
+type workItem struct {
+	class string
+	body  []byte
+}
+
+// outcome is one completed request's result.
+type outcome struct {
+	class     string
+	status    int // 0 = transport error
+	latency   time.Duration
+	degraded  bool
+	noRetry   bool // a 503 missing the Retry-After header
+	truncated bool // response started but the body did not arrive whole
+}
+
+// Engine drives a deterministic workload against a live server. The
+// request sequence (classes, configurations, bodies) is derived entirely
+// from Options.Seed via internal/rng; only pacing and latency
+// measurement touch the wall clock, which is confined to this command.
+type Engine struct {
+	opts   Options
+	items  []workItem
+	client *http.Client
+}
+
+// NewEngine pre-generates the workload for a model with paramCount
+// parameters.
+func NewEngine(opts Options, paramCount int) (*Engine, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = 8
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 32
+	}
+	if opts.Distinct <= 0 {
+		opts.Distinct = 64
+	}
+	n := opts.Requests
+	if opts.Mode == "open" {
+		if opts.Rate <= 0 || opts.Duration <= 0 {
+			return nil, fmt.Errorf("open mode needs -rate and -duration")
+		}
+		n = int(opts.Rate * opts.Duration.Seconds())
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("no requests to send (requests=%d)", opts.Requests)
+	}
+
+	r := rng.New(opts.Seed)
+	configs := make([][]float64, opts.Distinct)
+	for i := range configs {
+		cfg := make([]float64, paramCount)
+		for j := range cfg {
+			cfg[j] = r.Float64()
+		}
+		configs[i] = cfg
+	}
+
+	total := opts.Mix.Point + opts.Mix.Interval + opts.Mix.Batch
+	items := make([]workItem, n)
+	for i := range items {
+		req := serving.PredictRequest{Model: opts.Model}
+		u := r.Float64() * total
+		var class string
+		switch {
+		case u < opts.Mix.Point:
+			class = "point"
+			req.Params = configs[r.Intn(len(configs))]
+		case u < opts.Mix.Point+opts.Mix.Interval:
+			class = "interval"
+			req.Params = configs[r.Intn(len(configs))]
+			req.Interval = 0.9
+		default:
+			class = "batch"
+			req.Configs = make([][]float64, opts.BatchSize)
+			for j := range req.Configs {
+				req.Configs[j] = configs[r.Intn(len(configs))]
+			}
+		}
+		body, err := json.Marshal(&req)
+		if err != nil {
+			return nil, fmt.Errorf("marshaling request %d: %w", i, err)
+		}
+		items[i] = workItem{class: class, body: body}
+	}
+	return &Engine{
+		opts:  opts,
+		items: items,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        opts.Conns * 2,
+			MaxIdleConnsPerHost: opts.Conns * 2,
+		}},
+	}, nil
+}
+
+// Items exposes the pre-generated workload (tests assert determinism).
+func (e *Engine) Items() []workItem { return e.items }
+
+// Close releases idle client connections (and their goroutines).
+func (e *Engine) Close() { e.client.CloseIdleConnections() }
+
+// Run executes the workload and aggregates a report.
+func (e *Engine) Run() *Report {
+	outcomes := make([]outcome, len(e.items))
+	start := time.Now()
+	if e.opts.Mode == "open" {
+		e.runOpen(outcomes)
+	} else {
+		e.runClosed(outcomes)
+	}
+	return buildReport(e.opts, outcomes, time.Since(start))
+}
+
+// runClosed runs Conns workers that pull the next item until the
+// workload is exhausted: arrival rate adapts to server speed.
+func (e *Engine) runClosed(outcomes []outcome) {
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < e.opts.Conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= len(e.items) {
+					return
+				}
+				outcomes[i] = e.do(e.items[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpen paces arrivals at the configured rate regardless of server
+// speed (each request runs on its own goroutine), the arrival pattern
+// that actually saturates a server. Outstanding requests are capped at
+// 4×Conns to bound sockets; past the cap an arrival is dropped and
+// recorded as a transport error — a real open-loop client would queue
+// client-side, which only hides server-side shedding.
+func (e *Engine) runOpen(outcomes []outcome) {
+	gap := time.Duration(float64(time.Second) / e.opts.Rate)
+	sem := make(chan struct{}, e.opts.Conns*4)
+	var wg sync.WaitGroup
+	tick := time.NewTicker(gap)
+	defer tick.Stop()
+	for i := range e.items {
+		if i > 0 {
+			<-tick.C
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			outcomes[i] = outcome{class: e.items[i].class, status: 0}
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcomes[i] = e.do(e.items[i])
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+}
+
+// do sends one request and classifies the result.
+func (e *Engine) do(it workItem) outcome {
+	req, err := http.NewRequest("POST", e.opts.URL+"/v1/predict", bytes.NewReader(it.body))
+	if err != nil {
+		return outcome{class: it.class}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if e.opts.DeadlineMS > 0 {
+		req.Header.Set(serving.DeadlineHeader, fmt.Sprint(e.opts.DeadlineMS))
+	}
+	start := time.Now()
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return outcome{class: it.class, latency: time.Since(start)}
+	}
+	_, rdErr := io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	lat := time.Since(start)
+	if rdErr != nil {
+		// The body did not arrive whole: a dropped in-flight request.
+		return outcome{class: it.class, latency: lat, truncated: true}
+	}
+	return outcome{
+		class:    it.class,
+		status:   resp.StatusCode,
+		latency:  lat,
+		degraded: resp.Header.Get("X-Degraded") == "1",
+		noRetry:  resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == "",
+	}
+}
+
+// percentileMS returns the q-quantile of the sorted latencies in
+// milliseconds (nearest-rank).
+func percentileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// latencyStats summarizes a latency population.
+func latencyStats(durs []time.Duration) LatencyStats {
+	if len(durs) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return LatencyStats{
+		Count: len(durs),
+		P50MS: percentileMS(durs, 0.50),
+		P90MS: percentileMS(durs, 0.90),
+		P99MS: percentileMS(durs, 0.99),
+		MaxMS: float64(durs[len(durs)-1]) / float64(time.Millisecond),
+	}
+}

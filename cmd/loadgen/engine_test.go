@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("point=0.6,interval=0.3,batch=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Point != 0.6 || m.Interval != 0.3 || m.Batch != 0.1 {
+		t.Fatalf("mix %+v", m)
+	}
+	for _, bad := range []string{"", "point", "point=x", "foo=1", "point=0,interval=0,batch=0", "point=-1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	opts := Options{
+		Mode: "closed", Requests: 200, Seed: 42,
+		Mix: Mix{Point: 0.6, Interval: 0.3, Batch: 0.1}, BatchSize: 4, Distinct: 16,
+	}
+	a, err := NewEngine(opts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEngine(opts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]int{}
+	for i := range a.Items() {
+		ai, bi := a.Items()[i], b.Items()[i]
+		if ai.class != bi.class || !bytes.Equal(ai.body, bi.body) {
+			t.Fatalf("item %d differs across identically seeded engines", i)
+		}
+		classes[ai.class]++
+	}
+	// The mix weights every class; a 200-request workload hits each.
+	for _, cl := range []string{"point", "interval", "batch"} {
+		if classes[cl] == 0 {
+			t.Errorf("class %s absent from workload (%v)", cl, classes)
+		}
+	}
+
+	opts.Seed = 43
+	c, err := NewEngine(opts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Items() {
+		if !bytes.Equal(a.Items()[i].body, c.Items()[i].body) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	durs := make([]time.Duration, 100)
+	for i := range durs {
+		durs[i] = time.Duration(i+1) * time.Millisecond // 1..100ms
+	}
+	s := latencyStats(durs)
+	if s.Count != 100 || s.P50MS != 50 || s.P90MS != 90 || s.P99MS != 99 || s.MaxMS != 100 {
+		t.Fatalf("stats %+v", s)
+	}
+	if z := latencyStats(nil); z.Count != 0 || z.MaxMS != 0 {
+		t.Fatalf("empty stats %+v", z)
+	}
+}
+
+func TestBuildReportAccounting(t *testing.T) {
+	outcomes := []outcome{
+		{class: "point", status: 200, latency: time.Millisecond},
+		{class: "point", status: 200, latency: 2 * time.Millisecond, degraded: true},
+		{class: "batch", status: 503, latency: time.Millisecond},
+		{class: "batch", status: 503, latency: time.Millisecond, noRetry: true},
+		{class: "interval", status: 0, truncated: true},
+		{class: "interval", status: 400},
+	}
+	rep := buildReport(Options{Mode: "closed", Seed: 7}, outcomes, time.Second)
+	if rep.Accepted != 2 || rep.Shed != 2 || rep.Errors != 2 || rep.Truncated != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Degraded != 1 || rep.MissingRetryAfter != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.ByClass["point"].Accepted != 2 || rep.ByClass["batch"].Shed != 2 || rep.ByClass["interval"].Errors != 2 {
+		t.Fatalf("by-class %+v", rep.ByClass)
+	}
+	if rep.Throughput != 2 {
+		t.Fatalf("throughput %v, want 2 rps", rep.Throughput)
+	}
+	if rep.AcceptedLatency.Count != 2 || rep.ShedLatency.Count != 2 {
+		t.Fatalf("latency pops %+v %+v", rep.AcceptedLatency, rep.ShedLatency)
+	}
+}

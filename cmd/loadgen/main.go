@@ -1,0 +1,127 @@
+// Command loadgen drives a deterministic prediction workload against a
+// running serve instance and reports throughput and latency percentiles
+// as JSON — the measurement side of the serving layer's load-management
+// contract (see internal/loadctl).
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 -mode closed -requests 2000 -conns 32
+//	loadgen -url http://localhost:8080 -mode open -rate 500 -duration 10s \
+//	        -mix point=0.6,interval=0.3,batch=0.1 -seed 7 -out report.json
+//
+// The workload (request classes, configurations, bodies) is derived
+// entirely from -seed via the repository's deterministic generator, so
+// two runs with the same flags send byte-identical request sequences;
+// only pacing and latency measurement use the wall clock. Closed-loop
+// mode keeps -conns workers busy (arrival rate adapts to the server);
+// open-loop mode paces arrivals at -rate regardless of server speed,
+// which is what actually saturates an admission queue.
+//
+// The model's parameter count is discovered from GET /v1/models before
+// the run. -deadline-ms attaches an X-Deadline-Ms budget to every
+// request. The report counts accepted (200) and shed (503) responses
+// per class, flags any 503 missing its Retry-After header, and gives
+// separate latency percentiles for accepted and shed traffic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		url   = flag.String("url", "http://localhost:8080", "server base URL")
+		model = flag.String("model", "", "model name to query (default: server default)")
+
+		mode     = flag.String("mode", "closed", "workload mode: closed (worker loop) or open (paced arrivals)")
+		rate     = flag.Float64("rate", 100, "open-loop arrival rate, requests/second")
+		duration = flag.Duration("duration", 5*time.Second, "open-loop run length")
+		conns    = flag.Int("conns", 8, "closed-loop workers / open-loop outstanding cap")
+		requests = flag.Int("requests", 1000, "closed-loop total request count")
+
+		mixFlag    = flag.String("mix", "point=0.7,interval=0.2,batch=0.1", "workload mix by class")
+		batchSize  = flag.Int("batch", 32, "configurations per batch request")
+		distinct   = flag.Int("distinct", 64, "distinct configurations (controls cache-hit ratio)")
+		deadlineMS = flag.Int("deadline-ms", 0, "X-Deadline-Ms budget per request (0 = none)")
+
+		seed = flag.Uint64("seed", 1, "workload seed")
+		out  = flag.String("out", "", "report path (default: stdout)")
+	)
+	flag.Parse()
+
+	if *mode != "open" && *mode != "closed" {
+		fatalf("-mode %q: want open or closed", *mode)
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	paramCount, err := discoverParamCount(*url, *model)
+	if err != nil {
+		fatalf("discovering model parameters: %v", err)
+	}
+
+	eng, err := NewEngine(Options{
+		URL: *url, Model: *model,
+		Mode: *mode, Rate: *rate, Duration: *duration,
+		Conns: *conns, Requests: *requests,
+		Mix: mix, BatchSize: *batchSize, Distinct: *distinct,
+		DeadlineMS: *deadlineMS, Seed: *seed,
+	}, paramCount)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep := eng.Run()
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("encoding report: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, _ = os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatalf("writing report: %v", err)
+	}
+}
+
+// discoverParamCount asks the server how many parameters the target
+// model takes, so generated configurations validate.
+func discoverParamCount(url, model string) (int, error) {
+	resp, err := http.Get(url + "/v1/models")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Models []struct {
+			Name   string   `json:"name"`
+			Params []string `json:"params"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, err
+	}
+	if len(doc.Models) == 0 {
+		return 0, fmt.Errorf("server has no models loaded")
+	}
+	for _, m := range doc.Models {
+		if m.Name == model {
+			return len(m.Params), nil
+		}
+	}
+	if model != "" {
+		return 0, fmt.Errorf("model %q not found", model)
+	}
+	return len(doc.Models[0].Params), nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

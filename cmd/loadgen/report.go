@@ -1,0 +1,93 @@
+package main
+
+import "time"
+
+// LatencyStats summarizes one latency population (milliseconds).
+type LatencyStats struct {
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// ClassOutcome is one priority class's request accounting.
+type ClassOutcome struct {
+	Sent     int `json:"sent"`
+	Accepted int `json:"accepted"` // HTTP 200
+	Shed     int `json:"shed"`     // HTTP 503
+	Errors   int `json:"errors"`   // transport failures and non-200/503 statuses
+}
+
+// Report is the JSON document loadgen emits: enough to compare runs
+// (same seed → same workload) and to check the shedding contract (every
+// 503 carries Retry-After; accepted latency stays bounded).
+type Report struct {
+	Mode            string  `json:"mode"`
+	Seed            uint64  `json:"seed"`
+	Requests        int     `json:"requests"`
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	// Throughput counts accepted (200) responses per second.
+	Throughput float64 `json:"throughput_rps"`
+
+	Accepted          int `json:"accepted"`
+	Shed              int `json:"shed"`
+	Errors            int `json:"errors"`
+	Truncated         int `json:"truncated"` // accepted responses cut off mid-body; must be 0
+	Degraded          int `json:"degraded_responses"`
+	MissingRetryAfter int `json:"missing_retry_after"` // 503s without the header; must be 0
+
+	ByClass map[string]*ClassOutcome `json:"by_class"`
+
+	// AcceptedLatency covers 200s only; ShedLatency covers 503s (sheds
+	// must be fast — a slow rejection is still an outage).
+	AcceptedLatency LatencyStats `json:"accepted_latency"`
+	ShedLatency     LatencyStats `json:"shed_latency"`
+}
+
+// buildReport aggregates raw outcomes.
+func buildReport(opts Options, outcomes []outcome, elapsed time.Duration) *Report {
+	rep := &Report{
+		Mode:            opts.Mode,
+		Seed:            opts.Seed,
+		Requests:        len(outcomes),
+		DurationSeconds: elapsed.Seconds(),
+		ByClass: map[string]*ClassOutcome{
+			"point": {}, "interval": {}, "batch": {},
+		},
+	}
+	var accepted, shed []time.Duration
+	for _, o := range outcomes {
+		co := rep.ByClass[o.class]
+		co.Sent++
+		switch o.status {
+		case 200:
+			co.Accepted++
+			rep.Accepted++
+			accepted = append(accepted, o.latency)
+			if o.degraded {
+				rep.Degraded++
+			}
+		case 503:
+			co.Shed++
+			rep.Shed++
+			shed = append(shed, o.latency)
+			if o.noRetry {
+				rep.MissingRetryAfter++
+			}
+		default:
+			co.Errors++
+			rep.Errors++
+			if o.truncated {
+				rep.Truncated++
+			}
+		}
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		rep.Throughput = float64(rep.Accepted) / s
+	}
+	rep.AcceptedLatency = latencyStats(accepted)
+	rep.ShedLatency = latencyStats(shed)
+	return rep
+}

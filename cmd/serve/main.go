@@ -11,9 +11,19 @@
 //	POST /v1/predict   {"model":"smg","configs":[[...],[...]],"at":512,"interval":0.9,"small":true}
 //	POST /v1/observe   {"model":"smg","params":[...],"scale":512,"runtime":12.3} — measured runtimes
 //	GET  /v1/models    loaded models, versions, training and calibration metadata
+//	GET  /v1/loadstatus admission-controller snapshot (limit, queue, shed counters)
 //	POST /v1/reload    re-read every model file from disk (also SIGHUP)
-//	GET  /healthz      liveness; 503 until a model is loaded
-//	GET  /metrics      JSON counters: requests, errors, latency, cache, drift
+//	GET  /healthz      liveness; 503 until a model is loaded or once draining starts
+//	GET  /metrics      JSON counters: requests, errors, latency, cache, drift, load
+//
+// /v1/predict runs behind an admission controller: a bounded queue with
+// priority-aware shedding (batches shed first, then interval requests,
+// then point predictions) and an AIMD-adapted concurrency limit that
+// tracks -load-target (-load-fixed pins it at -load-limit instead).
+// Clients may cap their wait with an X-Deadline-Ms header; requests the
+// server cannot answer in budget get an immediate 503 with Retry-After.
+// When the queue saturates the server degrades to cache-only answers
+// until the backlog drains.
 //
 // Observed runtimes feed per-scale rolling windows of empirical interval
 // coverage; when a model's coverage falls below -drift-floor, the
@@ -43,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/loadctl"
 	"repro/internal/pipeline"
 	"repro/internal/serving"
 	"repro/internal/uncertainty"
@@ -71,6 +82,15 @@ func main() {
 		pipeSlack    = flag.Float64("pipeline-slack", 0.05, "allowed relative MAPE regression before rejecting a candidate")
 		pipeHoldout  = flag.Int("pipeline-holdout-denom", 5, "hold out 1/D of configurations for the promotion gate")
 		pipeSeed     = flag.Uint64("pipeline-seed", 1, "base random seed for pipeline retraining")
+
+		loadOff    = flag.Bool("load-off", false, "disable admission control entirely")
+		loadLimit  = flag.Int("load-limit", 0, "initial (or, with -load-fixed, permanent) concurrency limit (0 = default 64)")
+		loadFixed  = flag.Bool("load-fixed", false, "pin the concurrency limit instead of adapting it (AIMD off)")
+		loadTarget = flag.Duration("load-target", 0, "AIMD latency setpoint (0 = default 100ms)")
+		loadQueue  = flag.Int("load-queue", 0, "admission queue capacity (0 = default 128)")
+		deadline   = flag.Duration("deadline", 0, "default per-request deadline budget when the client sends no X-Deadline-Ms (0 = unbounded)")
+		maxDead    = flag.Duration("max-deadline", 0, "cap on client-supplied deadline budgets (0 = default 30s)")
+		synthDelay = flag.Duration("synthetic-delay", 0, "TESTING ONLY: artificial service time added to every cache miss, for load/saturation demos")
 
 		driftWindow   = flag.Int("drift-window", 256, "rolling window length per (model, scale) for coverage tracking")
 		driftMinObs   = flag.Int("drift-min-obs", 20, "observations a window needs before its coverage is judged")
@@ -112,6 +132,16 @@ func main() {
 
 	opts := serving.Options{
 		CacheSize: *cache,
+		Load: loadctl.Config{
+			InitialLimit:  *loadLimit,
+			FixedLimit:    *loadFixed,
+			TargetLatency: *loadTarget,
+			QueueCapacity: *loadQueue,
+		},
+		DisableLoadControl: *loadOff,
+		DefaultDeadline:    *deadline,
+		MaxDeadline:        *maxDead,
+		SyntheticDelay:     *synthDelay,
 		Drift: uncertainty.DriftConfig{
 			Window:          *driftWindow,
 			MinObservations: *driftMinObs,
@@ -133,6 +163,9 @@ func main() {
 	}
 	srv := serving.New(reg, opts)
 	g := serving.NewGraceful(*addr, srv.Handler(), *drain)
+	// Flip /healthz to 503 "draining" before the listener closes so load
+	// balancers stop routing here while in-flight requests finish.
+	g.PreDrain = srv.BeginDrain
 
 	stopPipeline := make(chan struct{})
 	if p != nil && *pipeInterval > 0 {

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWallClockAllowedPkgsFrozen pins the nowallclock allowed list. The
+// load controller (internal/loadctl) is deliberately NOT on it: every
+// time value it handles must be a Duration measured by the serving
+// boundary, so its admission decisions stay a pure function of inputs.
+// Growing this list is a design decision, not a convenience — update
+// this test only alongside a DESIGN.md note saying why.
+func TestWallClockAllowedPkgsFrozen(t *testing.T) {
+	want := []string{"internal/serving", "cmd"}
+	if len(wallClockAllowedPkgs) != len(want) {
+		t.Fatalf("wallClockAllowedPkgs = %v, want %v", wallClockAllowedPkgs, want)
+	}
+	for i, p := range want {
+		if wallClockAllowedPkgs[i] != p {
+			t.Fatalf("wallClockAllowedPkgs[%d] = %q, want %q", i, wallClockAllowedPkgs[i], p)
+		}
+	}
+}
+
+// TestLoadctlIsClockRestricted proves the restriction is live: a
+// loadctl-shaped package reading time.Now is flagged by nowallclock.
+func TestLoadctlIsClockRestricted(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.22\n",
+		"internal/loadctl/ctl.go": "package loadctl\n\nimport \"time\"\n\n" +
+			"func Bad() time.Time { return time.Now() }\n",
+		"internal/serving/ok.go": "package serving\n\nimport \"time\"\n\n" +
+			"func OK() time.Time { return time.Now() }\n",
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inLoadctl, inServing int
+	for _, d := range Run(mod, []*Analyzer{NoWallClock}) {
+		switch {
+		case strings.Contains(d.Pos.Filename, "internal/loadctl"):
+			inLoadctl++
+		case strings.Contains(d.Pos.Filename, "internal/serving"):
+			inServing++
+		}
+	}
+	if inLoadctl != 1 {
+		t.Fatalf("loadctl time.Now: %d findings, want 1", inLoadctl)
+	}
+	if inServing != 0 {
+		t.Fatalf("serving time.Now flagged %d times, want 0 (allowed package)", inServing)
+	}
+}

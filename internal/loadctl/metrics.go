@@ -1,0 +1,123 @@
+package loadctl
+
+import "time"
+
+// counters are the controller's lifetime counters, updated under the
+// controller mutex (every code path that touches them already holds it,
+// so atomics would buy nothing).
+type counters struct {
+	admitted      [numClasses]int64
+	enqueued      [numClasses]int64
+	shedQueueFull [numClasses]int64
+	shedBudget    [numClasses]int64
+	shedDegraded  [numClasses]int64
+	timeouts      [numClasses]int64
+	canceled      [numClasses]int64
+
+	completed      int64
+	degradedServed int64
+
+	limitIncreases   int64
+	limitDecreases   int64
+	degradedEpisodes int64
+	maxQueueDepth    int
+}
+
+// ClassCounts splits a counter by priority class.
+type ClassCounts struct {
+	Point    int64 `json:"point"`
+	Interval int64 `json:"interval"`
+	Batch    int64 `json:"batch"`
+}
+
+// Total sums the three classes.
+func (c ClassCounts) Total() int64 { return c.Point + c.Interval + c.Batch }
+
+func classCounts(a [numClasses]int64) ClassCounts {
+	return ClassCounts{Point: a[Point], Interval: a[Interval], Batch: a[Batch]}
+}
+
+// Snapshot is a point-in-time view of the controller, served on
+// /v1/loadstatus and embedded in /metrics.
+type Snapshot struct {
+	// Limit is the current concurrency limit; Mode says how it moves.
+	Limit float64 `json:"limit"`
+	Mode  string  `json:"mode"` // "aimd" or "fixed"
+
+	InFlight      int  `json:"in_flight"`
+	Queued        int  `json:"queued"`
+	QueueCapacity int  `json:"queue_capacity"`
+	MaxQueueDepth int  `json:"max_queue_depth"`
+	Degraded      bool `json:"degraded"`
+
+	// Admitted counts slots granted (immediate or after queueing);
+	// Enqueued counts requests that had to wait first.
+	Admitted  ClassCounts `json:"admitted"`
+	Enqueued  ClassCounts `json:"enqueued"`
+	Completed int64       `json:"completed"`
+
+	// Shed counters, by mechanism then class. Every 503 the serving
+	// layer emits is accounted in exactly one of these.
+	ShedQueueFull ClassCounts `json:"shed_queue_full"`
+	ShedBudget    ClassCounts `json:"shed_budget"`
+	ShedDegraded  ClassCounts `json:"shed_degraded"`
+	Timeouts      ClassCounts `json:"timeouts"`
+	Canceled      ClassCounts `json:"canceled"`
+
+	// DegradedServed counts cache hits answered while degraded;
+	// DegradedEpisodes counts latch transitions into degraded mode.
+	DegradedServed   int64 `json:"degraded_served"`
+	DegradedEpisodes int64 `json:"degraded_episodes"`
+
+	LimitIncreases int64 `json:"limit_increases"`
+	LimitDecreases int64 `json:"limit_decreases"`
+
+	// EWMALatencyMS is the latency estimate behind wait predictions;
+	// TargetLatencyMS is the AIMD setpoint.
+	EWMALatencyMS   float64 `json:"ewma_latency_ms"`
+	TargetLatencyMS float64 `json:"target_latency_ms"`
+}
+
+// ShedTotal is every rejection the controller has issued (excluding
+// client cancellations, which the client caused).
+func (s Snapshot) ShedTotal() int64 {
+	return s.ShedQueueFull.Total() + s.ShedBudget.Total() + s.ShedDegraded.Total() + s.Timeouts.Total()
+}
+
+// Snapshot captures the controller state and counters.
+func (c *Controller) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mode := "aimd"
+	if c.cfg.AIMDWindow == 0 {
+		mode = "fixed"
+	}
+	return Snapshot{
+		Limit:         c.limit,
+		Mode:          mode,
+		InFlight:      c.inflight,
+		Queued:        c.queuedN,
+		QueueCapacity: c.cfg.QueueCapacity,
+		MaxQueueDepth: c.counters.maxQueueDepth,
+		Degraded:      c.degraded,
+
+		Admitted:  classCounts(c.counters.admitted),
+		Enqueued:  classCounts(c.counters.enqueued),
+		Completed: c.counters.completed,
+
+		ShedQueueFull: classCounts(c.counters.shedQueueFull),
+		ShedBudget:    classCounts(c.counters.shedBudget),
+		ShedDegraded:  classCounts(c.counters.shedDegraded),
+		Timeouts:      classCounts(c.counters.timeouts),
+		Canceled:      classCounts(c.counters.canceled),
+
+		DegradedServed:   c.counters.degradedServed,
+		DegradedEpisodes: c.counters.degradedEpisodes,
+
+		LimitIncreases: c.counters.limitIncreases,
+		LimitDecreases: c.counters.limitDecreases,
+
+		EWMALatencyMS:   c.ewma / float64(time.Millisecond),
+		TargetLatencyMS: float64(c.cfg.TargetLatency) / float64(time.Millisecond),
+	}
+}

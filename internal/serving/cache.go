@@ -2,6 +2,7 @@ package serving
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -22,6 +23,7 @@ type Cache struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	coalesced atomic.Int64
+	abandoned atomic.Int64 // coalesced waits given up via context
 	evictions atomic.Int64
 }
 
@@ -30,11 +32,14 @@ type cacheItem struct {
 	val any
 }
 
-// flightCall is one in-progress computation other callers wait on.
+// flightCall is one in-progress computation other callers wait on. done
+// is closed (after val/err are set) when the computation finishes; a
+// channel rather than a WaitGroup so waiters can select against their
+// request context and abandon the wait without abandoning the compute.
 type flightCall struct {
-	wg  sync.WaitGroup
-	val any
-	err error
+	done chan struct{}
+	val  any
+	err  error
 }
 
 // NewCache creates a cache holding at most capacity entries.
@@ -69,8 +74,15 @@ func (c *Cache) Get(key string) (any, bool) {
 // coalesced caller that waited on another goroutine's computation also
 // reports true — it did not compute). Errors are returned to every
 // waiter and never cached.
-func (c *Cache) Do(key string, fn func() (any, error)) (any, bool, error) {
-	return c.do(key, nil, fn)
+//
+// ctx bounds only the coalesced wait: a caller whose context ends while
+// another goroutine computes the same key returns ctx.Err() immediately
+// instead of blocking on the in-flight computation. The computing
+// goroutine itself always runs fn to completion (the result is still
+// valuable to the cache and to other waiters), so fn needs no
+// cancellation plumbing of its own.
+func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
+	return c.do(ctx, key, nil, fn)
 }
 
 // DoBytes is Do for a key built in a reusable byte buffer. The hit path
@@ -78,13 +90,13 @@ func (c *Cache) Do(key string, fn func() (any, error)) (any, bool, error) {
 // performs no key allocation; the key bytes are only copied (once) on
 // the miss/coalesce path. The buffer may be reused immediately after
 // return.
-func (c *Cache) DoBytes(key []byte, fn func() (any, error)) (any, bool, error) {
-	return c.do("", key, fn)
+func (c *Cache) DoBytes(ctx context.Context, key []byte, fn func() (any, error)) (any, bool, error) {
+	return c.do(ctx, "", key, fn)
 }
 
 // do implements Do/DoBytes. Exactly one of skey/bkey is the key: bkey
 // when non-nil, else skey.
-func (c *Cache) do(skey string, bkey []byte, fn func() (any, error)) (any, bool, error) {
+func (c *Cache) do(ctx context.Context, skey string, bkey []byte, fn func() (any, error)) (any, bool, error) {
 	if c.capacity <= 0 {
 		c.misses.Add(1)
 		v, err := fn()
@@ -111,11 +123,17 @@ func (c *Cache) do(skey string, bkey []byte, fn func() (any, error)) (any, bool,
 	if fl, ok := c.inflight[skey]; ok {
 		c.mu.Unlock()
 		c.coalesced.Add(1)
-		fl.wg.Wait()
-		return fl.val, fl.err == nil, fl.err
+		select {
+		case <-fl.done:
+			return fl.val, fl.err == nil, fl.err
+		case <-ctx.Done():
+			// Abandon the wait, not the computation: the owner still
+			// finishes and caches for the callers that remain.
+			c.abandoned.Add(1)
+			return nil, false, ctx.Err()
+		}
 	}
-	fl := &flightCall{}
-	fl.wg.Add(1)
+	fl := &flightCall{done: make(chan struct{})}
 	c.inflight[skey] = fl
 	c.mu.Unlock()
 
@@ -128,7 +146,7 @@ func (c *Cache) do(skey string, bkey []byte, fn func() (any, error)) (any, bool,
 		c.add(skey, fl.val)
 	}
 	c.mu.Unlock()
-	fl.wg.Done()
+	close(fl.done)
 	return fl.val, false, fl.err
 }
 
@@ -168,6 +186,7 @@ type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Coalesced int64 `json:"coalesced"`
+	Abandoned int64 `json:"abandoned,omitempty"`
 	Evictions int64 `json:"evictions"`
 	Size      int   `json:"size"`
 	Capacity  int   `json:"capacity"`
@@ -179,6 +198,7 @@ func (c *Cache) Stats() CacheStats {
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Coalesced: c.coalesced.Load(),
+		Abandoned: c.abandoned.Load(),
 		Evictions: c.evictions.Load(),
 		Size:      c.Len(),
 		Capacity:  c.capacity,

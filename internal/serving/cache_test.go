@@ -1,12 +1,14 @@
 package serving
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func constant(v any) func() (any, error) {
@@ -15,11 +17,11 @@ func constant(v any) func() (any, error) {
 
 func TestCacheHitMiss(t *testing.T) {
 	c := NewCache(4)
-	v, hit, err := c.Do("a", constant(1))
+	v, hit, err := c.Do(context.Background(), "a", constant(1))
 	if err != nil || hit || v != 1 {
 		t.Fatalf("first Do = %v, %v, %v", v, hit, err)
 	}
-	v, hit, err = c.Do("a", constant(2))
+	v, hit, err = c.Do(context.Background(), "a", constant(2))
 	if err != nil || !hit || v != 1 {
 		t.Fatalf("second Do = %v, %v, %v (want cached 1)", v, hit, err)
 	}
@@ -31,10 +33,10 @@ func TestCacheHitMiss(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := NewCache(2)
-	c.Do("a", constant(1))
-	c.Do("b", constant(2))
-	c.Do("a", constant(0)) // touch a; b becomes LRU
-	c.Do("c", constant(3)) // evicts b
+	c.Do(context.Background(), "a", constant(1))
+	c.Do(context.Background(), "b", constant(2))
+	c.Do(context.Background(), "a", constant(0)) // touch a; b becomes LRU
+	c.Do(context.Background(), "c", constant(3)) // evicts b
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("b survived eviction")
 	}
@@ -51,10 +53,10 @@ func TestCacheErrorNotCached(t *testing.T) {
 	boom := errors.New("boom")
 	calls := 0
 	fn := func() (any, error) { calls++; return nil, boom }
-	if _, _, err := c.Do("k", fn); !errors.Is(err, boom) {
+	if _, _, err := c.Do(context.Background(), "k", fn); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, _, err := c.Do("k", fn); !errors.Is(err, boom) {
+	if _, _, err := c.Do(context.Background(), "k", fn); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	if calls != 2 {
@@ -76,7 +78,7 @@ func TestCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, _, err := c.Do("hot", func() (any, error) {
+			v, _, err := c.Do(context.Background(), "hot", func() (any, error) {
 				computes.Add(1)
 				<-release // hold every concurrent caller in the miss window
 				return "value", nil
@@ -107,12 +109,66 @@ func TestCacheSingleFlight(t *testing.T) {
 	}
 }
 
+// TestCacheCoalescedWaitAbandonsOnCancel pins the request-cancellation
+// contract: a coalesced waiter whose context ends returns promptly with
+// ctx.Err() while the owning computation still runs to completion and
+// caches its result for everyone else. Run under -race.
+func TestCacheCoalescedWaitAbandonsOnCancel(t *testing.T) {
+	c := NewCache(4)
+	inFn := make(chan struct{})
+	release := make(chan struct{})
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() (any, error) {
+			close(inFn)
+			<-release
+			return "v", nil
+		})
+		ownerDone <- err
+	}()
+	<-inFn // owner holds the flight
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "k", func() (any, error) {
+			t.Error("coalesced waiter recomputed the key")
+			return nil, nil
+		})
+		waiterDone <- err
+	}()
+	for c.Stats().Coalesced == 0 { // waiter is parked on the flight
+		runtime.Gosched()
+	}
+
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoned wait returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coalesced waiter did not abandon on cancellation")
+	}
+
+	close(release)
+	if err := <-ownerDone; err != nil {
+		t.Fatalf("owner: %v", err)
+	}
+	if v, ok := c.Get("k"); !ok || v != "v" {
+		t.Fatalf("owner's result not cached after abandon: %v, %v", v, ok)
+	}
+	if s := c.Stats(); s.Abandoned != 1 || s.Coalesced != 1 {
+		t.Fatalf("stats %+v, want Abandoned=1 Coalesced=1", s)
+	}
+}
+
 func TestCacheDisabled(t *testing.T) {
 	c := NewCache(0)
 	calls := 0
 	fn := func() (any, error) { calls++; return calls, nil }
-	c.Do("k", fn)
-	v, hit, _ := c.Do("k", fn)
+	c.Do(context.Background(), "k", fn)
+	v, hit, _ := c.Do(context.Background(), "k", fn)
 	if hit || v != 2 || calls != 2 {
 		t.Fatalf("disabled cache served a hit: v=%v hit=%v calls=%d", v, hit, calls)
 	}
@@ -124,13 +180,13 @@ func TestCacheDisabled(t *testing.T) {
 func TestCachePurge(t *testing.T) {
 	c := NewCache(8)
 	for i := 0; i < 5; i++ {
-		c.Do(fmt.Sprint(i), constant(i))
+		c.Do(context.Background(), fmt.Sprint(i), constant(i))
 	}
 	c.Purge()
 	if c.Len() != 0 {
 		t.Fatalf("Len() = %d after Purge", c.Len())
 	}
-	if _, hit, _ := c.Do("1", constant("fresh")); hit {
+	if _, hit, _ := c.Do(context.Background(), "1", constant("fresh")); hit {
 		t.Fatal("hit after Purge")
 	}
 }
@@ -144,7 +200,7 @@ func TestCacheConcurrentMixed(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprint(i % 48) // wider than capacity: exercises eviction
-				v, _, err := c.Do(key, constant(key))
+				v, _, err := c.Do(context.Background(), key, constant(key))
 				if err != nil || v != key {
 					t.Errorf("Do(%s) = %v, %v", key, v, err)
 					return

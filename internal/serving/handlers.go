@@ -2,15 +2,19 @@ package serving
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/loadctl"
 	"repro/internal/uncertainty"
 )
 
@@ -42,6 +46,28 @@ type Options struct {
 	// model with the breach diagnosis — the hook that kicks the
 	// retraining pipeline. It runs on the /v1/observe request goroutine.
 	OnDrift func(model, reason string)
+
+	// Load configures the admission controller guarding /v1/predict
+	// (bounded queue, AIMD concurrency limit, priority shedding,
+	// degraded mode); zero fields take loadctl's defaults. Set
+	// DisableLoadControl to run without admission control entirely.
+	Load               loadctl.Config
+	DisableLoadControl bool
+
+	// DefaultDeadline is the per-request deadline budget assumed when a
+	// client sends no X-Deadline-Ms header; 0 means unbounded. Requests
+	// that cannot be served within their budget are shed with 503 +
+	// Retry-After rather than left to time out.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps client-supplied budgets; 0 selects
+	// DefaultMaxDeadline.
+	MaxDeadline time.Duration
+
+	// SyntheticDelay adds a fixed artificial service time to every
+	// cache-miss computation. Load tests use it to create deterministic
+	// saturation without depending on model compute cost; zero (the
+	// default) disables it.
+	SyntheticDelay time.Duration
 }
 
 // DefaultCacheSize is the prediction-cache capacity used by DefaultOptions.
@@ -59,6 +85,14 @@ type Server struct {
 	mux          *http.ServeMux
 	batchWorkers int
 	drift        *uncertainty.MonitorSet
+
+	// load guards /v1/predict (nil = load control disabled); draining
+	// flips /healthz to 503 once graceful shutdown begins.
+	load            *loadctl.Controller
+	defaultDeadline time.Duration
+	maxDeadline     time.Duration
+	synthDelay      time.Duration
+	draining        atomic.Bool
 }
 
 // New builds a Server over a registry.
@@ -69,6 +103,16 @@ func New(reg *Registry, opts Options) *Server {
 		metrics:      NewMetrics(),
 		mux:          http.NewServeMux(),
 		batchWorkers: opts.BatchWorkers,
+
+		defaultDeadline: opts.DefaultDeadline,
+		maxDeadline:     opts.MaxDeadline,
+		synthDelay:      opts.SyntheticDelay,
+	}
+	if s.maxDeadline <= 0 {
+		s.maxDeadline = DefaultMaxDeadline
+	}
+	if !opts.DisableLoadControl {
+		s.load = loadctl.New(opts.Load)
 	}
 	s.drift = uncertainty.NewMonitorSet(opts.Drift, func(model, reason string) {
 		s.metrics.driftKicks.Add(1)
@@ -79,6 +123,7 @@ func New(reg *Registry, opts Options) *Server {
 	s.mux.Handle("POST /v1/predict", s.instrument("predict", s.handlePredict))
 	s.mux.Handle("POST /v1/observe", s.instrument("observe", s.handleObserve))
 	s.mux.Handle("GET /v1/models", s.instrument("models", s.handleModels))
+	s.mux.Handle("GET /v1/loadstatus", s.instrument("loadstatus", s.handleLoadStatus))
 	s.mux.Handle("POST /v1/reload", s.instrument("reload", s.handleReload))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
@@ -139,6 +184,10 @@ type PredictResponse struct {
 	Model   string         `json:"model"`
 	Version int            `json:"version"`
 	Results []ConfigResult `json:"results"`
+
+	// Degraded marks a response served cache-only while the admission
+	// queue was saturated (also signaled via the X-Degraded header).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // ModelInfo is one registry entry's public description.
@@ -260,12 +309,80 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	class := classify(req, len(configs))
+	budget, ok := s.requestBudget(r)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid %s header", DeadlineHeader))
+		return
+	}
+
+	// The budget bounds the whole request: queue wait plus compute. The
+	// timeout context is only created when a budget exists, keeping the
+	// no-deadline cache-hit fast path allocation-free.
+	ctx := r.Context()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+
+	if s.load != nil {
+		if s.load.Degraded() {
+			// Saturated: answer from cache alone or shed — never queue.
+			if s.serveDegraded(w, entry, req, configs) {
+				s.load.NoteDegraded(class, true)
+				return
+			}
+			s.load.NoteDegraded(class, false)
+			writeShed(w, &loadctl.ShedError{Reason: loadctl.ShedDegraded, Class: class, RetryAfter: s.load.RetryAfter()})
+			return
+		}
+		wtr, shed := s.load.Acquire(class, budget)
+		if shed != nil {
+			writeShed(w, shed)
+			return
+		}
+		if wtr != nil {
+			if err := wtr.Wait(ctx); err != nil {
+				if errors.Is(err, context.DeadlineExceeded) {
+					writeShed(w, &loadctl.ShedError{Reason: loadctl.ShedTimeout, Class: class, RetryAfter: s.load.RetryAfter()})
+				}
+				// Canceled: the client went away; nothing useful to write.
+				return
+			}
+		}
+		// Observed service time (slot grant to completion) feeds the AIMD
+		// limit; queue wait is deliberately excluded so a deep queue does
+		// not read as slow service and collapse the limit.
+		svcStart := time.Now()
+		defer func() { s.load.Release(time.Since(svcStart)) }()
+	}
+
 	resp := PredictResponse{Model: entry.Name, Version: entry.Version, Results: make([]ConfigResult, len(configs))}
-	if err := s.computeBatch(entry, req, configs, resp.Results); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	if err := s.computeBatch(ctx, entry, req, configs, resp.Results); err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			if s.load != nil {
+				s.load.NoteTimeout(class)
+			}
+			writeShed(w, &loadctl.ShedError{Reason: loadctl.ShedTimeout, Class: class, RetryAfter: s.retryAfter()})
+		case errors.Is(err, context.Canceled):
+			// Client went away mid-compute; nothing useful to write.
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// retryAfter returns the controller's backoff hint, or a fixed 1s when
+// load control is disabled.
+func (s *Server) retryAfter() time.Duration {
+	if s.load != nil {
+		return s.load.RetryAfter()
+	}
+	return time.Second
 }
 
 // minParallelBatch is the batch size below which fan-out overhead beats
@@ -278,14 +395,14 @@ const minParallelBatch = 64
 // lowest-index error is returned (each chunk stops at its first error,
 // which is its lowest, so the minimum over chunks is the global one) —
 // the response is identical to a serial run regardless of worker count.
-func (s *Server) computeBatch(entry *Entry, req *PredictRequest, configs [][]float64, out []ConfigResult) error {
+func (s *Server) computeBatch(ctx context.Context, entry *Entry, req *PredictRequest, configs [][]float64, out []ConfigResult) error {
 	workers := s.batchWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if len(configs) < minParallelBatch || workers == 1 {
 		var kb [128]byte
-		_, err := s.computeRange(entry, req, configs, out, 0, len(configs), kb[:0])
+		_, err := s.computeRange(ctx, entry, req, configs, out, 0, len(configs), kb[:0])
 		return err
 	}
 	chunk := (len(configs) + workers - 1) / workers
@@ -301,7 +418,7 @@ func (s *Server) computeBatch(entry *Entry, req *PredictRequest, configs [][]flo
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			if i, err := s.computeRange(entry, req, configs, out, lo, hi, make([]byte, 0, 128)); err != nil {
+			if i, err := s.computeRange(ctx, entry, req, configs, out, lo, hi, make([]byte, 0, 128)); err != nil {
 				mu.Lock()
 				if errIdx < 0 || i < errIdx {
 					errIdx, firstErr = i, err
@@ -316,11 +433,17 @@ func (s *Server) computeBatch(entry *Entry, req *PredictRequest, configs [][]flo
 
 // computeRange computes configs[lo:hi] into out, reusing kb as the cache
 // key buffer. It stops at the first error, returning its index.
-func (s *Server) computeRange(entry *Entry, req *PredictRequest, configs [][]float64, out []ConfigResult, lo, hi int, kb []byte) (int, error) {
+func (s *Server) computeRange(ctx context.Context, entry *Entry, req *PredictRequest, configs [][]float64, out []ConfigResult, lo, hi int, kb []byte) (int, error) {
 	for i := lo; i < hi; i++ {
+		if err := ctx.Err(); err != nil {
+			return i, err
+		}
 		cfg := configs[i]
 		kb = appendPredictKey(kb[:0], entry, req, cfg)
-		v, hit, err := s.cache.DoBytes(kb, func() (any, error) {
+		v, hit, err := s.cache.DoBytes(ctx, kb, func() (any, error) {
+			if s.synthDelay > 0 {
+				time.Sleep(s.synthDelay)
+			}
 			return computeResult(entry.Model, req, cfg)
 		})
 		if err != nil {
@@ -415,6 +538,10 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
 	if s.reg.Len() == 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no models loaded"})
 		return
@@ -423,7 +550,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.reg, s.drift))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.reg, s.drift, s.load))
 }
 
 // ---- plumbing ----

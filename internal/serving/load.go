@@ -1,0 +1,139 @@
+package serving
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/loadctl"
+)
+
+// DeadlineHeader is the request header carrying the client's total
+// deadline budget in milliseconds. Requests whose estimated queue wait
+// exceeds the remaining budget are rejected immediately with 503 +
+// Retry-After instead of timing out downstream; the budget also bounds
+// the queued wait itself and mid-batch compute.
+const DeadlineHeader = "X-Deadline-Ms"
+
+// DefaultMaxDeadline caps client-supplied deadline budgets.
+const DefaultMaxDeadline = 30 * time.Second
+
+// classify maps one validated predict request to its shedding class:
+// batches shed first, interval-bearing requests second, single point
+// predictions last. A batch that also asks for intervals is still bulk
+// work, so batch wins.
+func classify(req *PredictRequest, nConfigs int) loadctl.Class {
+	switch {
+	case nConfigs > 1:
+		return loadctl.Batch
+	case req.Interval != 0:
+		return loadctl.Interval
+	default:
+		return loadctl.Point
+	}
+}
+
+// requestBudget resolves one request's deadline budget: the
+// X-Deadline-Ms header when present (clamped to MaxDeadline), the
+// server default otherwise. 0 means unbounded. ok is false when the
+// header is present but unparsable (the caller answers 400).
+func (s *Server) requestBudget(r *http.Request) (time.Duration, bool) {
+	h := r.Header.Get(DeadlineHeader)
+	if h == "" {
+		return s.defaultDeadline, true
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, false
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.maxDeadline {
+		d = s.maxDeadline
+	}
+	return d, true
+}
+
+// ShedResponse is the 503 body for a rejected request. The Retry-After
+// header carries the same hint in whole seconds (minimum 1), so plain
+// HTTP clients and load balancers can honor it without parsing JSON.
+type ShedResponse struct {
+	Error        string `json:"error"` // always "overloaded"
+	Reason       string `json:"reason"`
+	Class        string `json:"class"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+}
+
+// writeShed answers a rejected request: 503, Retry-After, and a JSON
+// body naming the shed mechanism.
+func writeShed(w http.ResponseWriter, shed *loadctl.ShedError) {
+	secs := int(math.Ceil(shed.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusServiceUnavailable, ShedResponse{
+		Error:        "overloaded",
+		Reason:       shed.Reason,
+		Class:        shed.Class.String(),
+		RetryAfterMS: shed.RetryAfter.Milliseconds(),
+	})
+}
+
+// serveDegraded attempts the cache-hits-only answer used while the
+// admission queue is saturated: every configuration in the request must
+// already be cached (no slot is consumed, no model runs — the response
+// costs microseconds). Returns false on any miss; the caller sheds.
+func (s *Server) serveDegraded(w http.ResponseWriter, entry *Entry, req *PredictRequest, configs [][]float64) bool {
+	resp := PredictResponse{
+		Model:    entry.Name,
+		Version:  entry.Version,
+		Degraded: true,
+		Results:  make([]ConfigResult, len(configs)),
+	}
+	var kb [128]byte
+	key := kb[:0]
+	for i, cfg := range configs {
+		key = appendPredictKey(key[:0], entry, req, cfg)
+		v, ok := s.cache.Get(string(key))
+		if !ok {
+			return false
+		}
+		res := *v.(*ConfigResult)
+		res.Cached = true
+		resp.Results[i] = res
+	}
+	w.Header().Set("X-Degraded", "1")
+	writeJSON(w, http.StatusOK, resp)
+	return true
+}
+
+// LoadStatus is the GET /v1/loadstatus document: the live admission-
+// controller snapshot plus the drain flag load balancers watch.
+type LoadStatus struct {
+	Enabled  bool              `json:"enabled"`
+	Draining bool              `json:"draining"`
+	Load     *loadctl.Snapshot `json:"load,omitempty"`
+}
+
+func (s *Server) handleLoadStatus(w http.ResponseWriter, r *http.Request) {
+	st := LoadStatus{Enabled: s.load != nil, Draining: s.draining.Load()}
+	if s.load != nil {
+		snap := s.load.Snapshot()
+		st.Load = &snap
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// BeginDrain marks the server draining: /healthz turns 503 so load
+// balancers stop routing new traffic before the listener closes.
+// In-flight and already-accepted requests still complete. Wire it as
+// the GracefulServer's PreDrain hook (cmd/serve does).
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// LoadController exposes the admission controller (nil when load
+// control is disabled); used by tests and embedders.
+func (s *Server) LoadController() *loadctl.Controller { return s.load }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/loadctl"
 	"repro/internal/uncertainty"
 )
 
@@ -90,7 +91,7 @@ type Metrics struct {
 }
 
 // metricEndpoints are the route labels instrumented by the server.
-var metricEndpoints = []string{"predict", "observe", "models", "reload", "healthz", "metrics", "other"}
+var metricEndpoints = []string{"predict", "observe", "models", "loadstatus", "reload", "healthz", "metrics", "other"}
 
 // NewMetrics creates a metrics accumulator.
 func NewMetrics() *Metrics {
@@ -163,13 +164,14 @@ type Snapshot struct {
 	Pipeline         *PipelineSnapshot           `json:"pipeline,omitempty"`
 	Uncertainty      *UncertaintySnapshot        `json:"uncertainty,omitempty"`
 	Cache            CacheStats                  `json:"cache"`
+	Load             *loadctl.Snapshot           `json:"load,omitempty"`
 	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
 }
 
-// Snapshot captures every counter; cache, registry, and drift-monitor
-// state are sampled from the collaborators so the document is assembled
-// in one place. drift may be nil.
-func (m *Metrics) Snapshot(cache *Cache, reg *Registry, drift *uncertainty.MonitorSet) Snapshot {
+// Snapshot captures every counter; cache, registry, drift-monitor, and
+// admission-controller state are sampled from the collaborators so the
+// document is assembled in one place. drift and load may be nil.
+func (m *Metrics) Snapshot(cache *Cache, reg *Registry, drift *uncertainty.MonitorSet, load *loadctl.Controller) Snapshot {
 	s := Snapshot{
 		UptimeSeconds:    time.Since(m.start).Seconds(),
 		PredictionsTotal: m.predictions.Load(),
@@ -215,6 +217,10 @@ func (m *Metrics) Snapshot(cache *Cache, reg *Registry, drift *uncertainty.Monit
 	}
 	if u.IntervalRequests+u.Observations+u.DriftKicks > 0 || len(u.Monitors) > 0 {
 		s.Uncertainty = &u
+	}
+	if load != nil {
+		snap := load.Snapshot()
+		s.Load = &snap
 	}
 	return s
 }

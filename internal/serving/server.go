@@ -14,6 +14,11 @@ import (
 type GracefulServer struct {
 	HTTP  *http.Server
 	drain time.Duration
+
+	// PreDrain, when set, runs at the start of Shutdown before the
+	// listener closes — the hook that flips /healthz to draining so load
+	// balancers stop routing here (cmd/serve wires Server.BeginDrain).
+	PreDrain func()
 }
 
 // DefaultDrainTimeout bounds how long Shutdown waits for in-flight
@@ -58,6 +63,9 @@ func (g *GracefulServer) Serve(l net.Listener) error {
 // Shutdown drains in-flight requests for up to the drain timeout, then
 // force-closes whatever remains. It returns nil on a clean drain.
 func (g *GracefulServer) Shutdown() error {
+	if g.PreDrain != nil {
+		g.PreDrain()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), g.drain)
 	defer cancel()
 	if err := g.HTTP.Shutdown(ctx); err != nil {
