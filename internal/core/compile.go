@@ -1,0 +1,53 @@
+package core
+
+import (
+	"repro/internal/treec"
+)
+
+// compiledInterp is the flattened (struct-of-arrays) form of every
+// interpolation forest, aligned with TwoLevelModel.Interp. It is built
+// once by Compile and immutable afterwards, so any number of goroutines
+// may predict through it concurrently.
+type compiledInterp struct {
+	forests []*treec.Forest
+}
+
+// Compile flattens the model's interpolation forests into the treec
+// struct-of-arrays layout so the serving hot paths (PredictSmallInto,
+// PredictInterval, and everything built on them) traverse contiguous
+// node tables instead of chasing per-node heap pointers. Predictions
+// are bit-identical to the pointer form. Compile is idempotent and safe
+// to call concurrently with predictions; the pipeline compiles at
+// promotion and the serving registry compiles on load/hot-swap, so
+// served models always run compiled.
+func (m *TwoLevelModel) Compile() {
+	ci := &compiledInterp{forests: make([]*treec.Forest, len(m.Interp))}
+	for i, f := range m.Interp {
+		ci.forests[i] = treec.CompileForest(f)
+	}
+	m.compiled.Store(ci)
+}
+
+// Compiled reports whether the model currently carries a compiled
+// interpolation form (see Compile).
+func (m *TwoLevelModel) Compiled() bool { return m.compiled.Load() != nil }
+
+// Clone returns a shallow copy sharing all fitted state (forests,
+// centroids, cluster models) and the current compiled form.
+// TwoLevelModel is a no-copy type — the compiled pointer is atomic —
+// so callers that want an independent Meta (e.g. to attach a different
+// calibration) clone instead of copying the struct.
+func (m *TwoLevelModel) Clone() *TwoLevelModel {
+	c := &TwoLevelModel{
+		Cfg:           m.Cfg,
+		ParamNames:    m.ParamNames,
+		Meta:          m.Meta,
+		Interp:        m.Interp,
+		Centroids:     m.Centroids,
+		ClusterModels: m.ClusterModels,
+		TrainConfigs:  m.TrainConfigs,
+		Anchors:       m.Anchors,
+	}
+	c.compiled.Store(m.compiled.Load())
+	return c
+}

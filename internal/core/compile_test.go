@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestFitInterpParallelByteIdentical proves the parallel per-scale
+// interpolation fit is invisible in the artifact: fitting the same data
+// with the goroutine fan-out and with the sequential loop must produce
+// byte-identical serialized models. The pre-split RNG streams (one per
+// scale, drawn in scale order before any goroutine starts) are what
+// makes this hold regardless of scheduling.
+func TestFitInterpParallelByteIdentical(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Forest.Trees = 12
+	train, _ := simTables(t, 31, 30, 15, 1, cfg)
+
+	fit := func() []byte {
+		m, err := Fit(rng.New(11), train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	par := fit()
+	interpFitParallel = false
+	defer func() { interpFitParallel = true }()
+	seq := fit()
+	if !bytes.Equal(par, seq) {
+		t.Fatalf("parallel fit artifact differs from sequential fit: %d vs %d bytes", len(par), len(seq))
+	}
+}
+
+// TestCompiledModelPredictionsIdentical asserts every prediction surface
+// of a compiled model is bit-identical to the pointer form: Compile must
+// change latency only, never a single output bit.
+func TestCompiledModelPredictionsIdentical(t *testing.T) {
+	m, p := fitTiny(t)
+	if m.Compiled() {
+		t.Fatal("freshly fitted model reports compiled before Compile")
+	}
+
+	small := m.PredictSmall(p)
+	pred := m.Predict(p)
+	ivs := m.PredictInterval(p, 0.1)
+	cov := m.PredictIntervalCov(p, 0.9)
+	cl := m.AssignCluster(p)
+
+	m.Compile()
+	if !m.Compiled() {
+		t.Fatal("model does not report compiled after Compile")
+	}
+
+	for i, v := range m.PredictSmall(p) {
+		if v != small[i] {
+			t.Fatalf("PredictSmall[%d]: compiled %v != pointer %v", i, v, small[i])
+		}
+	}
+	for i, v := range m.Predict(p) {
+		if v != pred[i] {
+			t.Fatalf("Predict[%d]: compiled %v != pointer %v", i, v, pred[i])
+		}
+	}
+	for i, iv := range m.PredictInterval(p, 0.1) {
+		if iv != ivs[i] {
+			t.Fatalf("PredictInterval[%d]: compiled %+v != pointer %+v", i, iv, ivs[i])
+		}
+	}
+	for i, iv := range m.PredictIntervalCov(p, 0.9) {
+		if iv != cov[i] {
+			t.Fatalf("PredictIntervalCov[%d]: compiled %+v != pointer %+v", i, iv, cov[i])
+		}
+	}
+	if got := m.AssignCluster(p); got != cl {
+		t.Fatalf("AssignCluster: compiled %d != pointer %d", got, cl)
+	}
+}
+
+// TestCompileSurvivesRoundtrip: the compiled form is derived state and
+// must not leak into the artifact; a loaded model starts uncompiled and
+// compiles to identical predictions.
+func TestCompileSurvivesRoundtrip(t *testing.T) {
+	m, p := fitTiny(t)
+	m.Compile()
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Compiled() {
+		t.Fatal("loaded model reports compiled; compiled form must not serialize")
+	}
+	loaded.Compile()
+	want, got := m.Predict(p), loaded.Predict(p)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prediction changed across save/load/compile: %v != %v", got, want)
+		}
+	}
+}

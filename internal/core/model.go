@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
@@ -38,6 +40,13 @@ type TwoLevelModel struct {
 	// complete large-scale curves. Informational.
 	TrainConfigs int
 	Anchors      int
+
+	// compiled holds the flattened form of Interp built by Compile; nil
+	// until compiled. Unexported (excluded from the JSON artifact) and
+	// atomic so hot-path readers race-freely observe a Compile issued
+	// after load. The pointer makes TwoLevelModel no-copy; all methods
+	// already use pointer receivers.
+	compiled atomic.Pointer[compiledInterp]
 }
 
 // ClusterModel is one cluster's extrapolation model. Exactly one backend's
@@ -126,17 +135,8 @@ func Fit(r *rng.Source, table *dataset.Table, cfg Config) (*TwoLevelModel, error
 	}
 
 	// ---- level 1: per-scale interpolation forests ----
-	m.Interp = make([]*forest.Forest, len(cfg.SmallScales))
-	for si, s := range cfg.SmallScales {
-		sub := table.FilterScale(s)
-		if sub.Len() == 0 {
-			return nil, fmt.Errorf("core: no runs at small scale %d", s)
-		}
-		x, y := sub.XY()
-		if cfg.LogInterpolation {
-			y = logVec(y)
-		}
-		m.Interp[si] = forest.Fit(x, y, cfg.Forest, r.Split())
+	if err := m.fitInterp(r, table); err != nil {
+		return nil, err
 	}
 
 	// ---- level 2 ----
@@ -149,6 +149,62 @@ func Fit(r *rng.Source, table *dataset.Table, cfg Config) (*TwoLevelModel, error
 		return nil, err
 	}
 	return m, nil
+}
+
+// interpFitParallel gates the goroutine fan-out in fitInterp. It exists
+// for TestFitInterpParallelByteIdentical, which flips it to prove the
+// fan-out changes nothing about the fitted artifact.
+var interpFitParallel = true
+
+// fitInterp fits one interpolation forest per small scale, in parallel
+// across scales. The RNG streams are split from r up front, one per
+// scale in scale order — exactly the draw sequence of a sequential
+// `r.Split()` per iteration, and forest.Fit never touches the parent r
+// — so scheduling order cannot reach the fitted trees and the resulting
+// model artifact is byte-identical to a sequential fit.
+func (m *TwoLevelModel) fitInterp(r *rng.Source, table *dataset.Table) error {
+	scales := m.Cfg.SmallScales
+	m.Interp = make([]*forest.Forest, len(scales))
+	srcs := make([]*rng.Source, len(scales))
+	for i := range srcs {
+		srcs[i] = r.Split()
+	}
+	errs := make([]error, len(scales))
+	fitOne := func(si, s int) {
+		sub := table.FilterScale(s)
+		if sub.Len() == 0 {
+			errs[si] = fmt.Errorf("core: no runs at small scale %d", s)
+			return
+		}
+		x, y := sub.XY()
+		if m.Cfg.LogInterpolation {
+			y = logVec(y)
+		}
+		m.Interp[si] = forest.Fit(x, y, m.Cfg.Forest, srcs[si])
+	}
+	if interpFitParallel && len(scales) > 1 {
+		var wg sync.WaitGroup
+		for si, s := range scales {
+			wg.Add(1)
+			go func(si, s int) {
+				defer wg.Done()
+				fitOne(si, s)
+			}(si, s)
+		}
+		wg.Wait()
+	} else {
+		for si, s := range scales {
+			fitOne(si, s)
+		}
+	}
+	// Report the first failing scale in scale order, independent of
+	// goroutine scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // extrapCurve returns the extrapolation-level feature curve for training
@@ -283,6 +339,16 @@ func (m *TwoLevelModel) PredictSmall(params []float64) []float64 {
 func (m *TwoLevelModel) PredictSmallInto(params, dst []float64) []float64 {
 	if len(dst) != len(m.Interp) {
 		panic(fmt.Sprintf("core: PredictSmallInto dst has %d entries, model has %d small scales", len(dst), len(m.Interp)))
+	}
+	if ci := m.compiled.Load(); ci != nil {
+		for i, f := range ci.forests {
+			v := f.Predict(params)
+			if m.Cfg.LogInterpolation {
+				v = math.Exp(v)
+			}
+			dst[i] = v
+		}
+		return dst
 	}
 	for i, f := range m.Interp {
 		v := f.Predict(params)

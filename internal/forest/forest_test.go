@@ -311,6 +311,7 @@ func BenchmarkForestPredictBatch(b *testing.B) {
 	p.Trees = 100
 	f := Fit(x, y, p, r)
 	dst := make([]float64, x.Rows)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.PredictBatch(x, dst)

@@ -159,3 +159,34 @@ func BenchmarkFit(b *testing.B) {
 		Fit(x, y, p, nil)
 	}
 }
+
+// friedmanBench mirrors the friedman generator used by the forest and
+// treec bench suites, so BenchmarkGBRTPredictBatch and its compiled twin
+// BenchmarkGBRTPredictBatchCompiled (internal/treec) measure the same
+// model on the same data and their ns/op ratio is the compiled layout's
+// speedup.
+func friedmanBench(r *rng.Source, n int) (*mat.Dense, []float64) {
+	x := mat.NewDense(n, 6)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 6; j++ {
+			x.Set(i, j, r.Float64())
+		}
+		y[i] = 10*math.Sin(math.Pi*x.At(i, 0)*x.At(i, 1)) +
+			20*math.Pow(x.At(i, 2)-0.5, 2) +
+			10*x.At(i, 3) + 5*x.At(i, 4) + 0.1*r.Norm()
+	}
+	return x, y
+}
+
+func BenchmarkGBRTPredictBatch(b *testing.B) {
+	r := rng.New(1)
+	x, y := friedmanBench(r, 2000)
+	m := Fit(x, y, Defaults(), r)
+	dst := make([]float64, x.Rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatch(x, dst)
+	}
+}

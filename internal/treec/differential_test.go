@@ -1,0 +1,174 @@
+package treec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/forest"
+	"repro/internal/gbrt"
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/tree"
+)
+
+// randomDataset draws a dataset with randomized shape and pathologies:
+// duplicate values (coarse rounding), constant columns, and negative
+// targets, so ties and degenerate splits are exercised.
+func randomDataset(r *rng.Source) (*mat.Dense, []float64) {
+	rows := 20 + r.Intn(180)
+	cols := 1 + r.Intn(8)
+	x := mat.NewDense(rows, cols)
+	y := make([]float64, rows)
+	constCol := -1
+	if cols > 1 && r.Float64() < 0.3 {
+		constCol = r.Intn(cols)
+	}
+	coarse := r.Float64() < 0.5 // heavy duplicate feature values
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := r.Uniform(-5, 5)
+			if j == constCol {
+				v = 1.25
+			} else if coarse {
+				v = float64(int(v*2)) / 2
+			}
+			x.Set(i, j, v)
+		}
+		y[i] = x.At(i, 0)*3 + r.Norm()
+	}
+	return x, y
+}
+
+// TestCompiledDifferentialFuzz is the compiled-vs-pointer differential
+// fuzz: across >= 100 seeded random forests and datasets (randomized
+// shapes, tree counts, depths, feature subsampling) every prediction
+// surface — single row, batch, quantiles with per-tree outputs — must be
+// bit-identical between the pointer and the compiled implementations.
+func TestCompiledDifferentialFuzz(t *testing.T) {
+	const seeds = 110
+	for seed := uint64(1); seed <= seeds; seed++ {
+		r := rng.New(seed)
+		x, y := randomDataset(r)
+		p := forest.Defaults()
+		p.Trees = 1 + r.Intn(30)
+		p.Tree.MaxDepth = 1 + r.Intn(12)
+		p.Tree.MinLeafSamples = 1 + r.Intn(4)
+		f := forest.Fit(x, y, p, r)
+		cf := CompileForest(f)
+
+		want := f.PredictBatch(x, nil)
+		got := cf.PredictBatch(x, make([]float64, x.Rows))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d row %d: batch compiled %v != pointer %v", seed, i, got[i], want[i])
+			}
+		}
+
+		qs := []float64{0, 0.1, 0.5, 0.9, 1}
+		wq := make([]float64, len(qs))
+		gq := make([]float64, len(qs))
+		wScratch := make([]float64, len(f.Trees))
+		gScratch := make([]float64, len(f.Trees))
+		for i := 0; i < x.Rows; i += 1 + x.Rows/16 {
+			v := x.Row(i)
+			if cf.Predict(v) != f.Predict(v) {
+				t.Fatalf("seed %d row %d: single-row predict diverges", seed, i)
+			}
+			wm := f.PredictQuantilesInto(v, qs, wScratch, wq)
+			gm := cf.PredictQuantilesInto(v, qs, gScratch, gq)
+			if wm != gm {
+				t.Fatalf("seed %d row %d: quantile mean %v != %v", seed, i, gm, wm)
+			}
+			// Per-tree outputs feed conformal bands; the scratch must hold
+			// identical (sorted) per-tree predictions, not just quantiles.
+			for ti := range wScratch {
+				if gScratch[ti] != wScratch[ti] {
+					t.Fatalf("seed %d row %d tree %d: per-tree output %v != %v", seed, i, ti, gScratch[ti], wScratch[ti])
+				}
+			}
+			for j := range qs {
+				if gq[j] != wq[j] {
+					t.Fatalf("seed %d row %d q=%v: %v != %v", seed, i, qs[j], gq[j], wq[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledGBRTDifferentialFuzz mirrors the forest differential for
+// boosted ensembles across 100 seeded models.
+func TestCompiledGBRTDifferentialFuzz(t *testing.T) {
+	const seeds = 100
+	for seed := uint64(1); seed <= seeds; seed++ {
+		r := rng.New(1000 + seed)
+		x, y := randomDataset(r)
+		p := gbrt.Defaults()
+		p.Rounds = 1 + r.Intn(25)
+		p.MaxDepth = 1 + r.Intn(5)
+		p.Subsample = 0.5 + r.Float64()/2
+		m := gbrt.Fit(x, y, p, r)
+		cm := CompileGBRT(m)
+
+		want := m.PredictBatch(x, nil)
+		got := cm.PredictBatch(x, make([]float64, x.Rows))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d row %d: batch compiled %v != pointer %v", seed, i, got[i], want[i])
+			}
+		}
+		for i := 0; i < x.Rows; i += 1 + x.Rows/16 {
+			if cm.Predict(x.Row(i)) != m.Predict(x.Row(i)) {
+				t.Fatalf("seed %d row %d: single-row predict diverges", seed, i)
+			}
+		}
+	}
+}
+
+// TestCompiledSingleTreeDifferentialFuzz covers the bare tree wrapper.
+func TestCompiledSingleTreeDifferentialFuzz(t *testing.T) {
+	ft := tree.NewFitter()
+	for seed := uint64(1); seed <= 100; seed++ {
+		r := rng.New(2000 + seed)
+		x, y := randomDataset(r)
+		p := tree.Defaults()
+		p.MaxDepth = 1 + r.Intn(15)
+		tr := ft.Fit(x, y, p, nil)
+		ct := CompileTree(tr)
+		want := tr.PredictBatch(x, nil)
+		got := ct.PredictBatch(x, make([]float64, x.Rows))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d row %d: compiled %v != pointer %v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// FuzzCompiledForestPredict is a native fuzz target over probe rows: the
+// fuzzer mutates the probe's feature values (decoded from raw bytes, so
+// NaN/Inf/subnormal patterns are reachable) against a fixed seeded
+// forest, asserting the compiled traversal reaches exactly the pointer
+// traversal's leaf. `go test` runs the seed corpus; `go test -fuzz` digs.
+func FuzzCompiledForestPredict(f *testing.F) {
+	r := rng.New(99)
+	x, y := friedman(r, 150)
+	p := forest.Defaults()
+	p.Trees = 15
+	pf := forest.Fit(x, y, p, r)
+	cf := CompileForest(pf)
+
+	f.Add(uint64(1), uint64(2), uint64(3), uint64(4), uint64(5), uint64(6))
+	f.Add(^uint64(0), uint64(0), uint64(1)<<63, uint64(0x7ff0000000000000), uint64(1), uint64(42))
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g uint64) {
+		probe := make([]float64, 6)
+		for i, w := range [...]uint64{a, b, c, d, e, g} {
+			probe[i] = math.Float64frombits(w)
+		}
+		want := pf.Predict(probe)
+		got := cf.Predict(probe)
+		// NaN != NaN, so compare bit patterns.
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("compiled %v != pointer %v for probe %v", got, want, probe)
+		}
+	})
+}
