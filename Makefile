@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint lint-audit lint-sarif test race bench bench-hotpath bench-uncertainty bench-load bench-check bench-paper bench-serving clean
+.PHONY: verify build vet lint lint-audit lint-sarif test race bench bench-hotpath bench-uncertainty bench-load bench-obs bench-check bench-paper bench-serving clean
 
 verify: build vet lint lint-audit race
 
@@ -86,6 +86,20 @@ bench-load:
 	$(GO) run ./cmd/benchjson -in bench-load.out -out BENCH_loadctl.json
 	@rm -f bench-load.out
 
+# Observability baseline (cache-hit predict with tracing off vs. on),
+# committed as BENCH_obs.json. The -overhead gate is the contract from
+# DESIGN.md: request tracing may cost at most 5% of the untraced path
+# (two monotonic clock reads and a ring slot per request). -benchtime
+# is high because the gate compares two sub-10µs numbers. Regenerate
+# when a PR intentionally changes the traced request path.
+bench-obs:
+	$(GO) test -run='^$$' -benchmem -benchtime=20000x \
+		-bench='^BenchmarkObsServePredict$$' \
+		./internal/serving/ > bench-obs.out
+	$(GO) run ./cmd/benchjson -in bench-obs.out -out BENCH_obs.json \
+		-overhead 'BenchmarkObsServePredict/untraced=BenchmarkObsServePredict/traced:1.05'
+	@rm -f bench-obs.out
+
 # CI smoke: re-run both benchmark suites and fail on a >2x ns/op or
 # allocs/op regression against the committed baselines. The generous
 # tolerance absorbs shared-runner noise while still catching real
@@ -109,7 +123,12 @@ bench-check:
 		-bench='^(BenchmarkAcquireRelease|BenchmarkAcquireReleaseParallel)$$' \
 		./internal/loadctl/ > bench-load.out
 	$(GO) run ./cmd/benchjson -in bench-load.out -compare BENCH_loadctl.json -tolerance 2.0
-	@rm -f bench.out bench-hotpath.out bench-uncertainty.out bench-load.out
+	$(GO) test -run='^$$' -benchmem -benchtime=20000x \
+		-bench='^BenchmarkObsServePredict$$' \
+		./internal/serving/ > bench-obs.out
+	$(GO) run ./cmd/benchjson -in bench-obs.out -compare BENCH_obs.json -tolerance 2.0 \
+		-overhead 'BenchmarkObsServePredict/untraced=BenchmarkObsServePredict/traced:1.05'
+	@rm -f bench.out bench-hotpath.out bench-uncertainty.out bench-load.out bench-obs.out
 
 # Reduced-size reconstruction of every table/figure plus the core
 # micro-benchmarks; see bench_test.go.

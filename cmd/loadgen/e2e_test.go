@@ -122,6 +122,79 @@ func TestSaturation(t *testing.T) {
 	}
 }
 
+// TestServerSectionCrossChecks reconciles the client- and server-side
+// accounts of one run: the report's server section (built from
+// /metrics scrapes bracketing the run) must agree with what the engine
+// measured — every request sent shows up on the predict endpoint, every
+// 503 as a predict error and a controller shed, and the endpoint's
+// latency histogram delta counts them all.
+func TestServerSectionCrossChecks(t *testing.T) {
+	srv := newLoadServer(t, serving.Options{
+		CacheSize: 256,
+		Load: loadctl.Config{
+			InitialLimit: 2, FixedLimit: true, QueueCapacity: 8,
+			TargetLatency: 100 * time.Millisecond,
+		},
+		SyntheticDelay: 2 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	eng, err := NewEngine(Options{
+		URL: ts.URL, Mode: "closed", Requests: 200, Conns: 16, Seed: 11,
+		Mix: Mix{Point: 0.8, Interval: 0.1, Batch: 0.1}, BatchSize: 4, Distinct: 16,
+	}, len(testModel(t).ParamNames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	before, err := scrapeMetrics(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatalf("pre-run scrape: %v", err)
+	}
+	rep := eng.Run()
+	after, err := scrapeMetrics(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatalf("post-run scrape: %v", err)
+	}
+	sec := serverSection(before, after)
+	if sec == nil {
+		t.Fatal("server section nil despite two successful scrapes")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d transport errors invalidate the reconciliation", rep.Errors)
+	}
+
+	if sec.PredictRequests != int64(rep.Requests) {
+		t.Fatalf("server saw %d predict requests, client sent %d", sec.PredictRequests, rep.Requests)
+	}
+	if sec.PredictErrors != int64(rep.Shed) {
+		t.Fatalf("server counted %d predict errors, client saw %d sheds", sec.PredictErrors, rep.Shed)
+	}
+	if sec.Shed != int64(rep.Shed) {
+		t.Fatalf("controller shed delta %d, client saw %d 503s", sec.Shed, rep.Shed)
+	}
+	if sec.PredictLatency.Count != int64(rep.Requests) {
+		t.Fatalf("latency histogram delta counts %d, want %d", sec.PredictLatency.Count, rep.Requests)
+	}
+	// Cumulative buckets: the last ("+Inf") bucket of the delta must
+	// equal its count, and the explicit sentinel must survive the JSON
+	// round trip the scrape performs.
+	last := sec.PredictLatency.Buckets[len(sec.PredictLatency.Buckets)-1]
+	if int64(last.Count) != sec.PredictLatency.Count {
+		t.Fatalf("+Inf bucket %d != count %d", last.Count, sec.PredictLatency.Count)
+	}
+	if !last.LeMS.IsInf() {
+		t.Fatalf("last bucket bound %v is not +Inf", last.LeMS)
+	}
+	// Cache activity happened and is visible server-side (16 distinct
+	// configs over 200 requests must hit).
+	if sec.CacheHits+sec.CacheMisses == 0 {
+		t.Fatal("no cache activity recorded server-side")
+	}
+}
+
 // TestSaturationDeterministicWorkload re-runs the saturation workload
 // generation under the same seed and checks the server sees the same
 // byte stream — the reproducibility half of the acceptance criteria

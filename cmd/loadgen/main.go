@@ -21,7 +21,11 @@
 // the run. -deadline-ms attaches an X-Deadline-Ms budget to every
 // request. The report counts accepted (200) and shed (503) responses
 // per class, flags any 503 missing its Retry-After header, and gives
-// separate latency percentiles for accepted and shed traffic.
+// separate latency percentiles for accepted and shed traffic. A
+// "server" section scrapes the serving /metrics document immediately
+// before and after the run and reports the deltas — predict-endpoint
+// requests, errors, and latency histogram, cache hits/misses, sheds —
+// so client- and server-side accounts of the run can be reconciled.
 package main
 
 import (
@@ -76,7 +80,20 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+
+	// Bracket the run with /metrics scrapes so the report carries the
+	// server's own account of it. Scrape failures degrade to a
+	// client-only report rather than aborting the run.
+	before, err := scrapeMetrics(http.DefaultClient, *url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: pre-run metrics scrape: %v\n", err)
+	}
 	rep := eng.Run()
+	after, err := scrapeMetrics(http.DefaultClient, *url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: post-run metrics scrape: %v\n", err)
+	}
+	rep.Server = serverSection(before, after)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

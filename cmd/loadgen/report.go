@@ -1,6 +1,13 @@
 package main
 
-import "time"
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/serving"
+)
 
 // LatencyStats summarizes one latency population (milliseconds).
 type LatencyStats struct {
@@ -44,6 +51,79 @@ type Report struct {
 	// must be fast — a slow rejection is still an outage).
 	AcceptedLatency LatencyStats `json:"accepted_latency"`
 	ShedLatency     LatencyStats `json:"shed_latency"`
+
+	// Server is the server-side view of the same run: the /metrics JSON
+	// document scraped immediately before and after, reported as deltas.
+	// nil when either scrape failed (the client-side report stands alone).
+	Server *ServerSection `json:"server,omitempty"`
+}
+
+// ServerSection holds server-side deltas over the run, from the
+// serving /metrics JSON document. Client and server accounts of the
+// same run must reconcile: predict_requests matches the requests the
+// engine sent, predict_errors its 503s (absent other failures), and
+// the latency histogram delta counts every one of them.
+type ServerSection struct {
+	PredictRequests int64 `json:"predict_requests"`
+	PredictErrors   int64 `json:"predict_errors"`
+	// PredictLatency is the after-minus-before histogram for the predict
+	// endpoint (counts over the fixed millisecond buckets, "+Inf" last).
+	PredictLatency serving.HistogramSnapshot `json:"predict_latency"`
+
+	PredictionsTotal int64 `json:"predictions_total"` // configurations, counting batch entries
+	CacheHits        int64 `json:"cache_hits"`
+	CacheMisses      int64 `json:"cache_misses"`
+
+	// Shed and DegradedServed come from the admission controller; 0 when
+	// the server runs with load control disabled.
+	Shed           int64 `json:"shed"`
+	DegradedServed int64 `json:"degraded_served"`
+}
+
+// scrapeMetrics fetches the serving /metrics JSON document. The Accept
+// header pins JSON explicitly so the scrape is immune to the endpoint's
+// content negotiation growing new defaults.
+func scrapeMetrics(client *http.Client, base string) (*serving.Snapshot, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	var snap serving.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("GET /metrics: decoding: %w", err)
+	}
+	return &snap, nil
+}
+
+// serverSection computes the before/after delta. Either snapshot nil
+// (a scrape failed) yields nil — a partial delta would be misleading.
+func serverSection(before, after *serving.Snapshot) *ServerSection {
+	if before == nil || after == nil {
+		return nil
+	}
+	bp, ap := before.Endpoints["predict"], after.Endpoints["predict"]
+	sec := &ServerSection{
+		PredictRequests:  ap.Requests - bp.Requests,
+		PredictErrors:    ap.Errors - bp.Errors,
+		PredictLatency:   ap.Latency.Sub(bp.Latency),
+		PredictionsTotal: after.PredictionsTotal - before.PredictionsTotal,
+		CacheHits:        after.Cache.Hits - before.Cache.Hits,
+		CacheMisses:      after.Cache.Misses - before.Cache.Misses,
+	}
+	if before.Load != nil && after.Load != nil {
+		sec.Shed = after.Load.ShedTotal() - before.Load.ShedTotal()
+		sec.DegradedServed = after.Load.DegradedServed - before.Load.DegradedServed
+	}
+	return sec
 }
 
 // buildReport aggregates raw outcomes.

@@ -20,15 +20,23 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
+// logger carries operational events (cycle outcomes, failures) as
+// structured JSON on stderr; subcommand result listings stay plain
+// stdout for piping. PIPELINE_LOG_LEVEL overrides the default info.
+var logger = obs.NewLogger(os.Stderr, obs.ParseLevel(os.Getenv("PIPELINE_LOG_LEVEL")))
+
 func main() {
+	slog.SetDefault(logger)
 	if len(os.Args) < 2 {
 		usage()
 	}
@@ -155,11 +163,13 @@ func cmdRun(args []string) {
 		}
 		switch {
 		case res.Skipped:
-			fmt.Printf("%s: skipped (%s)\n", a, res.Reason)
+			logger.Info("cycle skipped", "app", a, "reason", res.Reason)
 		case res.Promoted:
-			fmt.Printf("%s: gen %d PROMOTED -> %s\n  %s\n", a, res.Gen, res.Path, res.Gate.Reason)
+			logger.Info("cycle promoted", "app", a, "gen", res.Gen, "path", res.Path,
+				"reason", res.Gate.Reason, "origin", res.Origin)
 		default:
-			fmt.Printf("%s: gen %d rejected\n  %s\n", a, res.Gen, res.Gate.Reason)
+			logger.Info("cycle rejected", "app", a, "gen", res.Gen,
+				"reason", res.Gate.Reason, "origin", res.Origin)
 		}
 	}
 }
@@ -253,6 +263,6 @@ func parse(fs *flag.FlagSet, args []string) {
 }
 
 func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "pipeline: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

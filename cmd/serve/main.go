@@ -14,7 +14,14 @@
 //	GET  /v1/loadstatus admission-controller snapshot (limit, queue, shed counters)
 //	POST /v1/reload    re-read every model file from disk (also SIGHUP)
 //	GET  /healthz      liveness; 503 until a model is loaded or once draining starts
-//	GET  /metrics      JSON counters: requests, errors, latency, cache, drift, load
+//	GET  /metrics      JSON counters (default) or Prometheus text format 0.0.4
+//	                   when the Accept header asks for text/plain
+//	GET  /debug/traces last-N / slowest-N request and pipeline-run traces
+//
+// Every request carries an X-Request-Id (client-supplied or minted);
+// -ops-addr starts a second listener with net/http/pprof, /debug/traces,
+// and an unconditional Prometheus /metrics, kept off the traffic port.
+// Logs are structured JSON on stderr (log/slog), leveled by -log-level.
 //
 // /v1/predict runs behind an admission controller: a bounded queue with
 // priority-aware shedding (batches shed first, then interval requests,
@@ -44,7 +51,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -54,6 +62,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/loadctl"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/serving"
 	"repro/internal/uncertainty"
@@ -71,9 +80,12 @@ func main() {
 	var models multiFlag
 	flag.Var(&models, "model", "model to serve: path or name=path (repeatable)")
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		cache = flag.Int("cache", serving.DefaultCacheSize, "prediction cache capacity (0 disables)")
-		drain = flag.Duration("drain", serving.DefaultDrainTimeout, "graceful-shutdown drain timeout")
+		addr     = flag.String("addr", ":8080", "listen address")
+		opsAddr  = flag.String("ops-addr", "", "operations listener (pprof, /debug/traces, Prometheus /metrics); empty disables")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		traceCap = flag.Int("trace-capacity", obs.DefaultTraceCapacity, "finished request/pipeline traces retained for /debug/traces (0 = default)")
+		cache    = flag.Int("cache", serving.DefaultCacheSize, "prediction cache capacity (0 disables)")
+		drain    = flag.Duration("drain", serving.DefaultDrainTimeout, "graceful-shutdown drain timeout")
 
 		pipeStore    = flag.String("pipeline-store", "", "run-record store directory; enables the embedded training pipeline")
 		pipeDir      = flag.String("pipeline-dir", "", "pipeline generations directory (model files + journal)")
@@ -99,6 +111,9 @@ func main() {
 	)
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
+	slog.SetDefault(logger)
+
 	if len(models) == 0 && *pipeStore == "" {
 		fatalf("at least one -model is required (or enable the pipeline with -pipeline-store)")
 	}
@@ -112,7 +127,14 @@ func main() {
 		fatalf("loading models: %v", err)
 	}
 
-	p, err := setupPipeline(reg, *pipeStore, *pipeDir, pipeline.Config{
+	// One metrics registry and one trace ring span the whole process:
+	// serving handlers, the admission controller's gauges, and the
+	// embedded pipeline's cycle spans all land in the same /metrics
+	// exposition and /debug/traces ring.
+	oreg := obs.NewRegistry("repro")
+	tracer := obs.NewTracer(*traceCap)
+
+	p, err := setupPipeline(logger, reg, *pipeStore, *pipeDir, pipeline.Config{
 		Core:          core.DefaultConfig(),
 		Seed:          *pipeSeed,
 		Gate:          pipeline.GateConfig{HoldoutDenominator: *pipeHoldout, AllowedRegression: *pipeSlack},
@@ -121,17 +143,22 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if p != nil {
+		p.EnableObs(oreg, tracer)
+	}
 	for _, e := range reg.List() {
 		from := e.Path
 		if from == "" {
 			from = "pipeline journal"
 		}
-		log.Printf("loaded model %q v%d gen %d from %s (%d params, mode %s)",
-			e.Name, e.Version, e.Generation, from, len(e.Model.ParamNames), e.Model.Mode())
+		logger.Info("model loaded", "model", e.Name, "version", e.Version,
+			"gen", e.Generation, "from", from, "params", len(e.Model.ParamNames), "mode", string(e.Model.Mode()))
 	}
 
 	opts := serving.Options{
 		CacheSize: *cache,
+		Obs:       oreg,
+		Tracer:    tracer,
 		Load: loadctl.Config{
 			InitialLimit:  *loadLimit,
 			FixedLimit:    *loadFixed,
@@ -151,14 +178,15 @@ func main() {
 	}
 	if p != nil {
 		// Close the loop: a coverage breach on a served model kicks its
-		// retraining cycle, and the journal records the diagnosis.
-		opts.OnDrift = func(model, reason string) {
-			log.Printf("drift: %s: %s — kicking retrain", model, reason)
-			p.KickReason(model, reason)
+		// retraining cycle; the journal records the diagnosis and the
+		// request ID of the observation that tipped the floor.
+		opts.OnDrift = func(model, reason, origin string) {
+			logger.Warn("drift breach, kicking retrain", "model", model, "reason", reason, "origin", origin)
+			p.KickOrigin(model, reason, origin)
 		}
 	} else {
-		opts.OnDrift = func(model, reason string) {
-			log.Printf("drift: %s: %s (no pipeline attached; not kicking)", model, reason)
+		opts.OnDrift = func(model, reason, origin string) {
+			logger.Warn("drift breach, no pipeline attached", "model", model, "reason", reason, "origin", origin)
 		}
 	}
 	srv := serving.New(reg, opts)
@@ -167,9 +195,27 @@ func main() {
 	// balancers stop routing here while in-flight requests finish.
 	g.PreDrain = srv.BeginDrain
 
+	if *opsAddr != "" {
+		// The ops surface lives on its own listener so profiling and trace
+		// inspection are never exposed on (or contended with) the traffic
+		// port. It additionally serves the Prometheus exposition, for
+		// scrapers that should not touch the serving socket at all.
+		mux := obs.OpsMux(srv.Tracer())
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = oreg.WritePrometheus(w)
+		})
+		go func() {
+			logger.Info("ops listener up", "addr", *opsAddr)
+			if err := http.ListenAndServe(*opsAddr, mux); err != nil {
+				logger.Error("ops listener failed", "err", err.Error())
+			}
+		}()
+	}
+
 	stopPipeline := make(chan struct{})
 	if p != nil && *pipeInterval > 0 {
-		go runPipelineLoop(p, *pipeInterval, stopPipeline)
+		go runPipelineLoop(logger, p, *pipeInterval, stopPipeline)
 	}
 
 	sigCh := make(chan os.Signal, 1)
@@ -178,26 +224,26 @@ func main() {
 		for sig := range sigCh {
 			if sig == syscall.SIGHUP {
 				if err := reg.Reload(); err != nil {
-					log.Printf("reload: %v", err)
+					logger.Error("reload failed", "err", err.Error())
 				} else {
-					log.Printf("reloaded %d model(s)", reg.Len())
+					logger.Info("models reloaded", "count", reg.Len())
 				}
 				continue
 			}
-			log.Printf("%s: draining for up to %s", sig, *drain)
+			logger.Info("draining", "signal", sig.String(), "timeout", drain.String())
 			close(stopPipeline)
 			if err := g.Shutdown(); err != nil {
-				log.Printf("shutdown: %v", err)
+				logger.Error("shutdown failed", "err", err.Error())
 			}
 			return
 		}
 	}()
 
-	log.Printf("serving %d model(s) on %s (cache %d)", reg.Len(), *addr, *cache)
+	logger.Info("serving", "models", reg.Len(), "addr", *addr, "cache", *cache)
 	if err := g.ListenAndServe(); err != nil {
 		fatalf("%v", err)
 	}
-	log.Printf("shut down cleanly")
+	logger.Info("shut down cleanly")
 }
 
 // parseSources expands -model flags into registry sources, defaulting a
@@ -231,7 +277,7 @@ func parseSources(models []string) ([]serving.Source, error) {
 // setupPipeline opens the embedded continuous-training pipeline and
 // installs every app's active generation into the registry. Returns nil
 // when -pipeline-store is unset.
-func setupPipeline(reg *serving.Registry, storeDir, gensDir string, cfg pipeline.Config) (*pipeline.Pipeline, error) {
+func setupPipeline(logger *slog.Logger, reg *serving.Registry, storeDir, gensDir string, cfg pipeline.Config) (*pipeline.Pipeline, error) {
 	if storeDir == "" {
 		return nil, nil
 	}
@@ -249,14 +295,14 @@ func setupPipeline(reg *serving.Registry, storeDir, gensDir string, cfg pipeline
 	if err := p.InstallActive(); err != nil {
 		return nil, fmt.Errorf("installing active generations: %w", err)
 	}
-	log.Printf("pipeline: store %s, generations %s, %d app(s)", storeDir, gensDir, len(store.Apps()))
+	logger.Info("pipeline attached", "store", storeDir, "generations", gensDir, "apps", len(store.Apps()))
 	return p, nil
 }
 
 // runPipelineLoop periodically sweeps the store for due retrains until
 // stop closes. Cycle errors are logged, not fatal: the server keeps
 // serving the incumbents.
-func runPipelineLoop(p *pipeline.Pipeline, every time.Duration, stop <-chan struct{}) {
+func runPipelineLoop(logger *slog.Logger, p *pipeline.Pipeline, every time.Duration, stop <-chan struct{}) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
@@ -268,7 +314,7 @@ func runPipelineLoop(p *pipeline.Pipeline, every time.Duration, stop <-chan stru
 		// Records may have been ingested by another process (pipeline
 		// ingest); re-index before checking triggers.
 		if err := p.Store().Refresh(); err != nil {
-			log.Printf("pipeline: refreshing store: %v", err)
+			logger.Error("pipeline store refresh failed", "err", err.Error())
 			continue
 		}
 		//lint:allow clockflow -- the retrain loop stamps journal entries with the decision time; the audit trail is operational metadata, not experiment output
@@ -279,13 +325,13 @@ func runPipelineLoop(p *pipeline.Pipeline, every time.Duration, stop <-chan stru
 			case res.Skipped:
 				// Quiet: nothing due is the steady state.
 			case res.Promoted:
-				log.Printf("pipeline: %s gen %d promoted (%s)", res.App, res.Gen, res.Gate.Reason)
+				logger.Info("pipeline promoted", "app", res.App, "gen", res.Gen, "reason", res.Gate.Reason, "origin", res.Origin)
 			default:
-				log.Printf("pipeline: %s gen %d rejected (%s)", res.App, res.Gen, res.Gate.Reason)
+				logger.Info("pipeline rejected", "app", res.App, "gen", res.Gen, "reason", res.Gate.Reason, "origin", res.Origin)
 			}
 		}
 		if err != nil {
-			log.Printf("pipeline: %v", err)
+			logger.Error("pipeline sweep failed", "err", err.Error())
 		}
 	}
 }

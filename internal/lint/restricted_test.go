@@ -23,6 +23,57 @@ func TestWallClockAllowedPkgsFrozen(t *testing.T) {
 	}
 }
 
+// TestWallClockAllowedFilesFrozen pins the single-file clock
+// boundaries. internal/obs/clock.go is the only one: it stamps trace
+// spans and stopwatches at the measurement boundary and exports only
+// opaque Duration-producing values, so the rest of internal/obs (ring
+// buffer, exposition, IDs) stays clock-free and usable from restricted
+// packages. Growing this list is a design decision, not a convenience
+// — update this test only alongside a DESIGN.md note saying why.
+func TestWallClockAllowedFilesFrozen(t *testing.T) {
+	want := []string{"internal/obs/clock.go"}
+	if len(wallClockAllowedFiles) != len(want) {
+		t.Fatalf("wallClockAllowedFiles = %v, want %v", wallClockAllowedFiles, want)
+	}
+	for i, p := range want {
+		if wallClockAllowedFiles[i] != p {
+			t.Fatalf("wallClockAllowedFiles[%d] = %q, want %q", i, wallClockAllowedFiles[i], p)
+		}
+	}
+}
+
+// TestObsClockBoundary proves the file-level allowance is exactly one
+// file wide: clock.go in an obs-shaped package may read the clock, a
+// sibling file in the same package may not.
+func TestObsClockBoundary(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.22\n",
+		"internal/obs/clock.go": "package obs\n\nimport \"time\"\n\n" +
+			"func Start() time.Time { return time.Now() }\n",
+		"internal/obs/ring.go": "package obs\n\nimport \"time\"\n\n" +
+			"func Bad() time.Time { return time.Now() }\n",
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inClock, inRing int
+	for _, d := range Run(mod, []*Analyzer{NoWallClock}) {
+		switch {
+		case strings.Contains(d.Pos.Filename, "clock.go"):
+			inClock++
+		case strings.Contains(d.Pos.Filename, "ring.go"):
+			inRing++
+		}
+	}
+	if inClock != 0 {
+		t.Fatalf("obs/clock.go time.Now flagged %d times, want 0 (pinned boundary)", inClock)
+	}
+	if inRing != 1 {
+		t.Fatalf("obs/ring.go time.Now: %d findings, want 1 (allowance must be file-scoped)", inRing)
+	}
+}
+
 // TestLoadctlIsClockRestricted proves the restriction is live: a
 // loadctl-shaped package reading time.Now is flagged by nowallclock.
 func TestLoadctlIsClockRestricted(t *testing.T) {

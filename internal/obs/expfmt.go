@@ -1,0 +1,396 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a validating parser for the Prometheus text exposition
+// format (version 0.0.4) — just enough of the format to round-trip
+// WritePrometheus output and to act as a conformance check against a
+// live /metrics scrape in CI. It is a test/tooling aid, not a general
+// ingestion path.
+
+// ExpoSample is one parsed sample line.
+type ExpoSample struct {
+	Name   string            // full sample name (family, or family+_bucket/_sum/_count)
+	Labels map[string]string // nil when unlabeled
+	Value  float64
+}
+
+// ExpoFamily is one parsed metric family: its HELP/TYPE header and the
+// samples that follow it.
+type ExpoFamily struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, histogram, summary, untyped
+	Samples []ExpoSample
+}
+
+// ParseExposition parses and validates Prometheus text exposition
+// input. It enforces the structural rules WritePrometheus promises:
+// every sample belongs to a family declared by preceding # HELP and
+// # TYPE lines, names and labels are well-formed, histogram buckets
+// are cumulative and end at le="+Inf" with the +Inf count equal to
+// _count, and a _sum sample is present per histogram series.
+func ParseExposition(r io.Reader) ([]ExpoFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	var fams []ExpoFamily
+	byName := make(map[string]*ExpoFamily)
+	var cur *ExpoFamily
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseCommentLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if kind == "" {
+				continue // plain comment
+			}
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			switch kind {
+			case "HELP":
+				if _, dup := byName[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate # HELP for %q", lineNo, name)
+				}
+				fams = append(fams, ExpoFamily{Name: name, Help: rest})
+				cur = &fams[len(fams)-1]
+				byName[name] = cur
+			case "TYPE":
+				fam, ok := byName[name]
+				if !ok {
+					return nil, fmt.Errorf("line %d: # TYPE %q before its # HELP", lineNo, name)
+				}
+				if fam.Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate # TYPE for %q", lineNo, name)
+				}
+				if len(fam.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: # TYPE %q after its samples", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					fam.Type = rest
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, rest)
+				}
+				cur = fam
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := familyFor(byName, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no declared family", lineNo, s.Name)
+		}
+		if cur == nil || fam.Name != cur.Name {
+			return nil, fmt.Errorf("line %d: sample %q outside its family block %q", lineNo, s.Name, fam.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range fams {
+		if fams[i].Type == "" {
+			return nil, fmt.Errorf("family %q has # HELP but no # TYPE", fams[i].Name)
+		}
+		if err := validateFamily(&fams[i]); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+// parseCommentLine splits "# HELP name text" / "# TYPE name kind";
+// kind is "" for plain comments.
+func parseCommentLine(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimPrefix(body, " ")
+	word, tail, _ := strings.Cut(body, " ")
+	if word != "HELP" && word != "TYPE" {
+		return "", "", "", nil
+	}
+	name, rest, ok := strings.Cut(tail, " ")
+	if name == "" {
+		return "", "", "", fmt.Errorf("malformed # %s line %q", word, line)
+	}
+	if word == "TYPE" && !ok {
+		return "", "", "", fmt.Errorf("# TYPE line %q missing a type", line)
+	}
+	return word, name, rest, nil
+}
+
+// parseSampleLine parses `name{labels} value` (timestamps are not
+// emitted by WritePrometheus and are rejected here).
+func parseSampleLine(line string) (ExpoSample, error) {
+	s := ExpoSample{}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		s.Name = rest[:brace]
+		var err error
+		s.Labels, rest, err = parseLabels(rest[brace:])
+		if err != nil {
+			return s, err
+		}
+	} else {
+		if sp < 0 {
+			return s, fmt.Errorf("sample line %q has no value", line)
+		}
+		s.Name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return s, fmt.Errorf("sample %q: want exactly one value, got %q", s.Name, rest)
+	}
+	v, err := parseExpoValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %q: %v", s.Name, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseExpoValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses a `{k="v",...}` block, returning the labels and
+// the unconsumed tail.
+func parseLabels(in string) (map[string]string, string, error) {
+	if in == "" || in[0] != '{' {
+		return nil, in, fmt.Errorf("label block %q must start with '{'", in)
+	}
+	labels := make(map[string]string)
+	i := 1
+	for {
+		if i >= len(in) {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if in[i] == '}' {
+			return labels, in[i+1:], nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label block missing '='")
+		}
+		key := in[i : i+eq]
+		if !validLabelName(key) {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		if _, dup := labels[key]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", key)
+		}
+		i += eq + 1
+		val, next, err := parseQuoted(in, i)
+		if err != nil {
+			return nil, "", err
+		}
+		labels[key] = val
+		i = next
+		if i < len(in) && in[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseQuoted parses a double-quoted, backslash-escaped label value
+// starting at in[i]; next indexes just past the closing quote.
+func parseQuoted(in string, i int) (val string, next int, err error) {
+	if i >= len(in) || in[i] != '"' {
+		return "", 0, fmt.Errorf("label value at %q must be quoted", in[i:])
+	}
+	var b strings.Builder
+	for j := i + 1; j < len(in); j++ {
+		switch in[j] {
+		case '\\':
+			if j+1 >= len(in) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			j++
+			switch in[j] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c in label value", in[j])
+			}
+		case '"':
+			return b.String(), j + 1, nil
+		default:
+			b.WriteByte(in[j])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// familyFor resolves a sample name to its declared family, accounting
+// for histogram/summary suffixes.
+func familyFor(byName map[string]*ExpoFamily, sample string) *ExpoFamily {
+	if fam, ok := byName[sample]; ok {
+		return fam
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base == sample {
+			continue
+		}
+		if fam, ok := byName[base]; ok && (fam.Type == "histogram" || fam.Type == "summary") {
+			return fam
+		}
+	}
+	return nil
+}
+
+// validateFamily applies per-type structural rules.
+func validateFamily(fam *ExpoFamily) error {
+	switch fam.Type {
+	case "counter":
+		for _, s := range fam.Samples {
+			if s.Name != fam.Name {
+				return fmt.Errorf("counter %q has stray sample %q", fam.Name, s.Name)
+			}
+			if s.Value < 0 {
+				return fmt.Errorf("counter %q has negative value %v", fam.Name, s.Value)
+			}
+		}
+	case "gauge", "untyped":
+		for _, s := range fam.Samples {
+			if s.Name != fam.Name {
+				return fmt.Errorf("%s %q has stray sample %q", fam.Type, fam.Name, s.Name)
+			}
+		}
+	case "histogram":
+		return validateHistogramFamily(fam)
+	}
+	return nil
+}
+
+// histSeries accumulates one label-set's histogram samples during
+// validation.
+type histSeries struct {
+	les      []float64 // bucket bounds in sample order
+	counts   []float64 // cumulative counts in sample order
+	sum      float64
+	hasSum   bool
+	count    float64
+	hasCount bool
+}
+
+// validateHistogramFamily checks, per label set: buckets are
+// cumulative (non-decreasing in le order), the last bucket is
+// le="+Inf" and equals _count, and _sum/_count are present.
+func validateHistogramFamily(fam *ExpoFamily) error {
+	byKey := make(map[string]*histSeries)
+	var keys []string
+	get := func(labels map[string]string) *histSeries {
+		// Key on all labels except le, in sorted order.
+		parts := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				parts = append(parts, k+"="+v)
+			}
+		}
+		sort.Strings(parts)
+		key := strings.Join(parts, ",")
+		hs, ok := byKey[key]
+		if !ok {
+			hs = &histSeries{}
+			byKey[key] = hs
+			keys = append(keys, key)
+		}
+		return hs
+	}
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case fam.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %q bucket missing le label", fam.Name)
+			}
+			lev, err := parseExpoValue(le)
+			if err != nil {
+				return fmt.Errorf("histogram %q: bad le %q: %v", fam.Name, le, err)
+			}
+			hs := get(s.Labels)
+			hs.les = append(hs.les, lev)
+			hs.counts = append(hs.counts, s.Value)
+		case fam.Name + "_sum":
+			hs := get(s.Labels)
+			if hs.hasSum {
+				return fmt.Errorf("histogram %q: duplicate _sum for labels %v", fam.Name, s.Labels)
+			}
+			hs.sum, hs.hasSum = s.Value, true
+		case fam.Name + "_count":
+			hs := get(s.Labels)
+			if hs.hasCount {
+				return fmt.Errorf("histogram %q: duplicate _count for labels %v", fam.Name, s.Labels)
+			}
+			hs.count, hs.hasCount = s.Value, true
+		default:
+			return fmt.Errorf("histogram %q has stray sample %q", fam.Name, s.Name)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		hs := byKey[key]
+		if len(hs.les) == 0 {
+			return fmt.Errorf("histogram %q{%s}: no buckets", fam.Name, key)
+		}
+		for i := 1; i < len(hs.les); i++ {
+			if hs.les[i] <= hs.les[i-1] {
+				return fmt.Errorf("histogram %q{%s}: le bounds not increasing", fam.Name, key)
+			}
+			if hs.counts[i] < hs.counts[i-1] {
+				return fmt.Errorf("histogram %q{%s}: bucket counts not cumulative", fam.Name, key)
+			}
+		}
+		if !math.IsInf(hs.les[len(hs.les)-1], 1) {
+			return fmt.Errorf("histogram %q{%s}: last bucket is not le=\"+Inf\"", fam.Name, key)
+		}
+		if !hs.hasSum {
+			return fmt.Errorf("histogram %q{%s}: missing _sum", fam.Name, key)
+		}
+		if !hs.hasCount {
+			return fmt.Errorf("histogram %q{%s}: missing _count", fam.Name, key)
+		}
+		if math.Abs(hs.counts[len(hs.counts)-1]-hs.count) > 0.5 {
+			return fmt.Errorf("histogram %q{%s}: +Inf bucket %v != _count %v", fam.Name, key, hs.counts[len(hs.counts)-1], hs.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"os"
+	"strconv"
+	"sync/atomic"
+)
+
+// IDGen generates request IDs of the form "<prefix>-<counter>". It is
+// deliberately both clock-free and rand-free: the module bans
+// math/rand and crypto/rand outright (randflow) and a clock-derived ID
+// would taint everything it touches under clockflow — IDs end up in
+// the pipeline journal as drift-kick origins, which is a persisted
+// clockflow sink. A process-scoped prefix (hashed PID) plus an atomic
+// counter is unique enough for correlating traces and journal entries,
+// which is all a request ID is for.
+type IDGen struct {
+	prefix string
+	n      atomic.Uint64
+}
+
+// NewIDGen creates a generator. An empty prefix derives one from the
+// process ID (FNV-1a, six hex digits) so concurrent servers on one
+// host emit distinguishable IDs.
+func NewIDGen(prefix string) *IDGen {
+	if prefix == "" {
+		h := uint32(2166136261)
+		for pid := os.Getpid(); pid > 0; pid >>= 8 {
+			h = (h ^ uint32(pid&0xff)) * 16777619
+		}
+		buf := make([]byte, 0, 8)
+		buf = append(buf, 'r')
+		buf = strconv.AppendUint(buf, uint64(h&0xffffff), 16)
+		prefix = string(buf)
+	}
+	return &IDGen{prefix: prefix}
+}
+
+// Next returns the next ID. One string allocation, no locks.
+func (g *IDGen) Next() string {
+	n := g.n.Add(1)
+	var buf [32]byte
+	b := append(buf[:0], g.prefix...)
+	b = append(b, '-')
+	b = strconv.AppendUint(b, n, 16)
+	return string(b)
+}

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// OpsMux builds the operations surface served on cmd/serve's
+// -ops-addr listener, separate from the traffic port so profiling and
+// trace inspection never compete with (or get exposed to) production
+// request traffic: net/http/pprof under /debug/pprof/ and, when a
+// tracer is supplied, the trace ring under /debug/traces.
+func OpsMux(t *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if t != nil {
+		mux.Handle("GET /debug/traces", t.Handler())
+	}
+	return mux
+}

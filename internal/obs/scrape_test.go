@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestExpositionScrapeFile validates a live /metrics scrape captured
+// to a file against the exposition parser. CI's observability e2e step
+// curls a running server with Accept: text/plain, writes the body to a
+// file, and runs this test with OBS_SCRAPE_FILE pointing at it; the
+// test skips when the variable is unset so the normal suite does not
+// depend on a server.
+func TestExpositionScrapeFile(t *testing.T) {
+	path := os.Getenv("OBS_SCRAPE_FILE")
+	if path == "" {
+		t.Skip("OBS_SCRAPE_FILE not set; run via the CI scrape step")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open scrape: %v", err)
+	}
+	defer f.Close()
+	fams, err := ParseExposition(f)
+	if err != nil {
+		t.Fatalf("scrape is not valid Prometheus text exposition: %v", err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("scrape contained no metric families")
+	}
+	var names []string
+	sawHistogram := false
+	for _, fam := range fams {
+		names = append(names, fam.Name)
+		if fam.Type == "histogram" {
+			sawHistogram = true
+		}
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"repro_http_requests_total", "repro_uptime_seconds"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("scrape missing family %s (have: %s)", want, joined)
+		}
+	}
+	if !sawHistogram {
+		t.Error("scrape contained no histogram family")
+	}
+	t.Logf("validated %d families from %s", len(fams), path)
+}

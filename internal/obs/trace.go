@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader is the HTTP header carrying a request's ID; the
+// server echoes an inbound value or generates one (see IDGen).
+const RequestIDHeader = "X-Request-Id"
+
+// Span is one timed phase inside a trace. Offsets and durations are
+// nanoseconds relative to the trace start — plain integers, so spans
+// can flow through clock-free core packages without carrying a
+// time.Time.
+type Span struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"` // offset from trace start
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// Trace is one finished request or pipeline run.
+type Trace struct {
+	Seq     uint64 `json:"seq"` // monotonic record number; higher = more recent
+	ID      string `json:"id"`
+	Kind    string `json:"kind"` // "request" or "pipeline"
+	Name    string `json:"name"` // endpoint or application
+	Status  int    `json:"status,omitempty"`
+	TotalNS int64  `json:"total_ns"`
+	Spans   []Span `json:"spans,omitempty"`
+}
+
+// ReqTrace is an in-flight trace under construction. All methods are
+// nil-safe: a nil *ReqTrace (tracing disabled or sampling off) turns
+// every call into a cheap no-op, so call sites need no guards. Span
+// recording is clock-free — StartSpan/EndSpan in clock.go stamp
+// durations at the boundary; AddSpan accepts pre-measured offsets.
+// The mutex makes span appends safe from parallel batch workers.
+type ReqTrace struct {
+	tracer *Tracer
+	id     string
+	kind   string
+	name   string
+	t0     time.Time // set by Tracer.StartRequest (clock.go); never read outside clock.go
+	mu     sync.Mutex
+	spans  []Span
+}
+
+// ID returns the trace's request ID ("" for a nil trace).
+func (rt *ReqTrace) ID() string {
+	if rt == nil {
+		return ""
+	}
+	return rt.id
+}
+
+// AddSpan records a span from a pre-measured start offset and
+// duration, for callers that hold Durations but no clock.
+func (rt *ReqTrace) AddSpan(name string, start, dur time.Duration) {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	rt.spans = append(rt.spans, Span{Name: name, StartNS: int64(start), DurNS: int64(dur)})
+	rt.mu.Unlock()
+}
+
+// traceSlot is one ring entry. The Trace inside keeps its Spans
+// backing array across overwrites, so steady-state recording does not
+// allocate.
+type traceSlot struct {
+	mu sync.Mutex
+	tr Trace
+}
+
+// Tracer records finished traces into a bounded ring. Slot claim is a
+// single atomic increment (writers never contend unless the ring laps
+// itself); the per-slot latch only orders a writer against a
+// concurrent Snapshot of the same slot. A nil *Tracer disables
+// tracing: StartRequest returns a nil ReqTrace.
+type Tracer struct {
+	slots []traceSlot
+	seq   atomic.Uint64
+	pool  sync.Pool // *ReqTrace
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 256
+
+// NewTracer creates a tracer retaining the last capacity traces.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	t := &Tracer{slots: make([]traceSlot, capacity)}
+	t.pool.New = func() any {
+		return &ReqTrace{spans: make([]Span, 0, 8)}
+	}
+	return t
+}
+
+// record files a finished trace into the ring and recycles rt.
+func (t *Tracer) record(rt *ReqTrace, status int, total time.Duration) {
+	seq := t.seq.Add(1)
+	slot := &t.slots[(seq-1)%uint64(len(t.slots))]
+	slot.mu.Lock()
+	slot.tr.Seq = seq
+	slot.tr.ID = rt.id
+	slot.tr.Kind = rt.kind
+	slot.tr.Name = rt.name
+	slot.tr.Status = status
+	slot.tr.TotalNS = int64(total)
+	slot.tr.Spans = append(slot.tr.Spans[:0], rt.spans...)
+	slot.mu.Unlock()
+	rt.tracer = nil
+	rt.id, rt.kind, rt.name = "", "", ""
+	rt.t0 = time.Time{}
+	rt.spans = rt.spans[:0]
+	t.pool.Put(rt)
+}
+
+// Snapshot returns up to n finished traces, deterministically ordered:
+// most recent first (descending seq), or slowest first (descending
+// TotalNS, ties broken by descending seq) when slowest is set. Spans
+// are deep-copied, so the result is stable under concurrent recording.
+func (t *Tracer) Snapshot(n int, slowest bool) []Trace {
+	if t == nil {
+		return nil
+	}
+	if n <= 0 || n > len(t.slots) {
+		n = len(t.slots)
+	}
+	out := make([]Trace, 0, len(t.slots))
+	for i := range t.slots {
+		slot := &t.slots[i]
+		slot.mu.Lock()
+		if slot.tr.Seq != 0 {
+			tr := slot.tr
+			tr.Spans = append([]Span(nil), slot.tr.Spans...)
+			out = append(out, tr)
+		}
+		slot.mu.Unlock()
+	}
+	if slowest {
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].TotalNS != out[j].TotalNS {
+				return out[i].TotalNS > out[j].TotalNS
+			}
+			return out[i].Seq > out[j].Seq
+		})
+	} else {
+		sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// tracesDoc is the JSON document served on /debug/traces.
+type tracesDoc struct {
+	Count  int     `json:"count"`
+	Sort   string  `json:"sort"`
+	Traces []Trace `json:"traces"`
+}
+
+// Handler serves GET /debug/traces: query params n (max traces,
+// default 32) and sort=recent|slow select the view; output ordering is
+// deterministic for a fixed ring state.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 32
+		if raw := r.URL.Query().Get("n"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v <= 0 {
+				http.Error(w, `{"error":"n must be a positive integer"}`, http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		slowest := false
+		switch s := r.URL.Query().Get("sort"); s {
+		case "", "recent":
+		case "slow", "slowest":
+			slowest = true
+		default:
+			http.Error(w, `{"error":"sort must be recent or slow"}`, http.StatusBadRequest)
+			return
+		}
+		doc := tracesDoc{Sort: "recent", Traces: t.Snapshot(n, slowest)}
+		if slowest {
+			doc.Sort = "slow"
+		}
+		doc.Count = len(doc.Traces)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return // client went away mid-write; nothing to clean up
+		}
+	})
+}

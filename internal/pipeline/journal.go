@@ -45,6 +45,12 @@ type Entry struct {
 	// generation is traceable to the signal that caused it.
 	Trigger string `json:"trigger,omitempty"`
 
+	// Origin is the opaque identity the triggering signal arrived with —
+	// for drift kicks, the X-Request-Id of the /v1/observe call whose
+	// observation breached the coverage floor — completing the trace from
+	// an HTTP request through the monitor to the promoted generation.
+	Origin string `json:"origin,omitempty"`
+
 	// Time is an RFC 3339 timestamp stamped by the CLI boundary; empty in
 	// deterministic (test, replay) runs.
 	Time string `json:"time,omitempty"`

@@ -70,6 +70,7 @@ type Pipeline struct {
 	prom    *Promoter
 	trigger *Trigger
 	reg     *serving.Registry // optional; nil disables hot-swap
+	obs     *pipelineObs      // optional; set by EnableObs
 }
 
 // CycleResult describes one RunOnce outcome.
@@ -78,6 +79,7 @@ type CycleResult struct {
 	Gen      int    // generation consumed by the cycle; 0 when skipped
 	Skipped  bool   // trigger not due
 	Reason   string // trigger or gate reasoning, human-readable
+	Origin   string // originating request/run ID of the kick, "" for count-policy cycles
 	Promoted bool
 	Gate     GateResult
 	Path     string // promoted model file, "" otherwise
@@ -132,6 +134,12 @@ func (p *Pipeline) Kick(app string) { p.trigger.Kick(app) }
 // coverage-breach diagnosis).
 func (p *Pipeline) KickReason(app, reason string) { p.trigger.KickReason(app, reason) }
 
+// KickOrigin is KickReason plus the originating identity — typically
+// the X-Request-Id of the /v1/observe call whose observation breached
+// the drift floor — which the cycle's journal entry persists as Origin,
+// closing the trace from ingest to promotion.
+func (p *Pipeline) KickOrigin(app, reason, origin string) { p.trigger.KickOrigin(app, reason, origin) }
+
 // Rollback reverts app to the generation promoted before the currently
 // active one and journals the event. now is an optional timestamp
 // stamped by the caller (the CLI boundary); empty keeps the journal
@@ -172,11 +180,16 @@ func (p *Pipeline) RunOnce(app, now string) (*CycleResult, error) {
 	count := p.store.Count(app)
 	due, why := p.trigger.Due(app, count)
 	if !due {
+		p.obs.count("skipped")
 		return &CycleResult{App: app, Skipped: true, Reason: why}, nil
 	}
+	// Origin rides with the pending kick; read it before Mark consumes it.
+	origin := p.trigger.Origin(app)
 
 	gen := p.journal.NextGen()
-	res := &CycleResult{App: app, Gen: gen, Reason: why}
+	res := &CycleResult{App: app, Gen: gen, Reason: why, Origin: origin}
+	rt := p.obs.startRun(app, gen)
+	defer rt.Finish(0)
 
 	table, ok := p.store.Table(app)
 	if !ok || table.Len() == 0 {
@@ -184,7 +197,9 @@ func (p *Pipeline) RunOnce(app, now string) (*CycleResult, error) {
 	}
 	train, holdout := SplitHoldout(table, p.cfg.Gate.HoldoutDenominator)
 
+	fitClock := rt.StartSpan()
 	cand, err := p.fitCandidate(app, gen, train)
+	p.obs.stage(rt, "fit", fitClock)
 	if err != nil {
 		// A fit failure (e.g. too few complete configurations) is a
 		// journaled rejection, not a pipeline error: the store may simply
@@ -193,10 +208,11 @@ func (p *Pipeline) RunOnce(app, now string) (*CycleResult, error) {
 		res.Gate = GateResult{Reason: fmt.Sprintf("fit: %v", err)}
 		if jerr := p.journal.Append(Entry{
 			Gen: gen, App: app, Event: EventRejected,
-			Reason: res.Gate.Reason, Records: count, Trigger: why, Time: now,
+			Reason: res.Gate.Reason, Records: count, Trigger: why, Origin: origin, Time: now,
 		}); jerr != nil {
 			return nil, jerr
 		}
+		p.obs.count(EventRejected)
 		p.trigger.Mark(app, count)
 		return res, nil
 	}
@@ -206,14 +222,18 @@ func (p *Pipeline) RunOnce(app, now string) (*CycleResult, error) {
 	// the exchangeability split-conformal needs. The artifact rides in
 	// the model's metadata so it promotes (and hot-swaps) atomically with
 	// the generation it describes.
+	calClock := rt.StartSpan()
 	cand.Meta.Calibration = calibrate(cand, holdout)
+	p.obs.stage(rt, "calibrate", calClock)
 
 	inc, incGen, err := p.prom.ActiveModel(app)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: loading incumbent for %q: %w", app, err)
 	}
 
+	gateClock := rt.StartSpan()
 	res.Gate = EvaluateGate(cand, inc, holdout, cand.Cfg.LargeScales, p.cfg.Gate)
+	p.obs.stage(rt, "gate", gateClock)
 	entry := Entry{
 		Gen:       gen,
 		App:       app,
@@ -222,6 +242,7 @@ func (p *Pipeline) RunOnce(app, now string) (*CycleResult, error) {
 		Incumbent: incGen,
 		Gate:      &res.Gate,
 		Trigger:   why,
+		Origin:    origin,
 		Time:      now,
 	}
 	if !res.Gate.Promote {
@@ -230,11 +251,14 @@ func (p *Pipeline) RunOnce(app, now string) (*CycleResult, error) {
 		if err := p.journal.Append(entry); err != nil {
 			return nil, err
 		}
+		p.obs.count(EventRejected)
 		p.trigger.Mark(app, count)
 		return res, nil
 	}
 
+	promClock := rt.StartSpan()
 	path, sha, err := p.prom.Promote(cand, app, gen)
+	p.obs.stage(rt, "promote", promClock)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: promoting %q gen %d: %w", app, gen, err)
 	}
@@ -246,6 +270,7 @@ func (p *Pipeline) RunOnce(app, now string) (*CycleResult, error) {
 		return nil, err
 	}
 	p.prom.install(app, gen, cand, "gate passed: "+res.Gate.Reason)
+	p.obs.count(EventPromoted)
 	p.trigger.Mark(app, count)
 	res.Promoted = true
 	res.Path = path

@@ -15,8 +15,16 @@ type Trigger struct {
 	minNew int
 
 	mu     sync.Mutex
-	kicked map[string]string // app -> kick reason
-	seen   map[string]int    // store record count at the last handled cycle
+	kicked map[string]kickInfo // app -> pending kick
+	seen   map[string]int      // store record count at the last handled cycle
+}
+
+// kickInfo is one pending forced retrain: why it was requested and the
+// opaque origin identifier (e.g. the HTTP request ID of the observation
+// that breached the drift floor) for end-to-end traceability.
+type kickInfo struct {
+	reason string
+	origin string
 }
 
 // NewTrigger builds a trigger firing after minNew new records (>= 1).
@@ -24,7 +32,7 @@ func NewTrigger(minNew int) *Trigger {
 	if minNew < 1 {
 		minNew = 1
 	}
-	return &Trigger{minNew: minNew, kicked: map[string]string{}, seen: map[string]int{}}
+	return &Trigger{minNew: minNew, kicked: map[string]kickInfo{}, seen: map[string]int{}}
 }
 
 // Prime seeds the last-handled record count for app, used to rebuild
@@ -38,18 +46,33 @@ func (t *Trigger) Prime(app string, count int) {
 }
 
 // Kick forces the next Due check for app to fire.
-func (t *Trigger) Kick(app string) { t.KickReason(app, "") }
+func (t *Trigger) Kick(app string) { t.KickOrigin(app, "", "") }
 
 // KickReason forces the next Due check for app to fire and records why
 // (e.g. a drift monitor's breach diagnosis) so the journal can name the
-// signal. An existing pending reason is kept: the first cause wins until
-// the cycle consumes it.
-func (t *Trigger) KickReason(app, reason string) {
+// signal.
+func (t *Trigger) KickReason(app, reason string) { t.KickOrigin(app, reason, "") }
+
+// KickOrigin is KickReason carrying the originating identity — the
+// request ID of the observation whose arrival breached the drift floor
+// — so the cycle's journal entry links the retrain back to the exact
+// ingest that provoked it. An existing pending reason is kept: the
+// first cause wins until the cycle consumes it.
+func (t *Trigger) KickOrigin(app, reason, origin string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if cur, ok := t.kicked[app]; !ok || cur == "" {
-		t.kicked[app] = reason
+	if cur, ok := t.kicked[app]; !ok || cur.reason == "" {
+		t.kicked[app] = kickInfo{reason: reason, origin: origin}
 	}
+}
+
+// Origin returns the pending kick's origin identifier ("" when no kick
+// is pending or the kick carried none). Read it alongside Due; Mark
+// consumes it with the kick.
+func (t *Trigger) Origin(app string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.kicked[app].origin
 }
 
 // Due reports whether app should retrain given its current record
@@ -57,11 +80,11 @@ func (t *Trigger) KickReason(app, reason string) {
 func (t *Trigger) Due(app string, count int) (bool, string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if reason, ok := t.kicked[app]; ok {
-		if reason == "" {
+	if k, ok := t.kicked[app]; ok {
+		if k.reason == "" {
 			return true, "kicked"
 		}
-		return true, "kicked: " + reason
+		return true, "kicked: " + k.reason
 	}
 	fresh := count - t.seen[app]
 	if fresh >= t.minNew {

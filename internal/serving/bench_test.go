@@ -99,6 +99,39 @@ func BenchmarkServePredict(b *testing.B) {
 	})
 }
 
+// BenchmarkObsServePredict isolates the cost of the observability layer
+// on the hottest serving path: the same cache-hit predict request with
+// tracing off (no span tree, no X-Request-Id minting) and on (the
+// production default). `make bench-obs` feeds the pair to benchjson's
+// -overhead gate, which fails the build if traced exceeds untraced by
+// more than 5% — the tracing clock boundary is designed to add two
+// monotonic clock reads and one ring slot per request, nothing more.
+func BenchmarkObsServePredict(b *testing.B) {
+	m, params := testModel(b)
+	p := params[0]
+	body, _ := json.Marshal(PredictRequest{Params: p})
+
+	run := func(b *testing.B, opts Options) {
+		reg := NewRegistry()
+		reg.Install("default", m)
+		s := New(reg, opts)
+		d := newServeOnce(s)
+		d.do(b, body) // warm the cache: every timed iteration is a hit
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.do(b, body)
+		}
+	}
+
+	b.Run("untraced", func(b *testing.B) {
+		run(b, Options{CacheSize: 1024, DisableTracing: true})
+	})
+	b.Run("traced", func(b *testing.B) {
+		run(b, Options{CacheSize: 1024})
+	})
+}
+
 // BenchmarkServePredictInterval measures interval-carrying predictions
 // through the full handler path, cache-miss regime (an interval request
 // does the extra per-tree quantile or conformal-factor work on every

@@ -9,12 +9,14 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/loadctl"
+	"repro/internal/obs"
 	"repro/internal/uncertainty"
 )
 
@@ -43,9 +45,12 @@ type Options struct {
 	Drift uncertainty.DriftConfig
 
 	// OnDrift, when set, is invoked once per coverage-breach episode per
-	// model with the breach diagnosis — the hook that kicks the
-	// retraining pipeline. It runs on the /v1/observe request goroutine.
-	OnDrift func(model, reason string)
+	// model with the breach diagnosis and the request ID of the
+	// /v1/observe call whose observation tipped the coverage — the hook
+	// that kicks the retraining pipeline, with origin making the kick
+	// traceable end-to-end through the pipeline journal. It runs on the
+	// /v1/observe request goroutine.
+	OnDrift func(model, reason, origin string)
 
 	// Load configures the admission controller guarding /v1/predict
 	// (bounded queue, AIMD concurrency limit, priority shedding,
@@ -68,6 +73,19 @@ type Options struct {
 	// saturation without depending on model compute cost; zero (the
 	// default) disables it.
 	SyntheticDelay time.Duration
+
+	// Obs, when set, is the shared metrics registry the server registers
+	// into (cmd/serve passes one so pipeline metrics share the same
+	// Prometheus exposition); nil gets a private registry.
+	Obs *obs.Registry
+
+	// Tracer, when set, is a shared trace ring; nil (with tracing
+	// enabled) gets a private ring of TraceCapacity entries. Tracing is
+	// on by default — every request gets an X-Request-Id and a span tree
+	// in GET /debug/traces; DisableTracing turns all of it off.
+	Tracer         *obs.Tracer
+	TraceCapacity  int
+	DisableTracing bool
 }
 
 // DefaultCacheSize is the prediction-cache capacity used by DefaultOptions.
@@ -93,6 +111,12 @@ type Server struct {
 	maxDeadline     time.Duration
 	synthDelay      time.Duration
 	draining        atomic.Bool
+
+	// tracer records per-request span trees into a bounded ring (nil =
+	// tracing disabled); ids mints X-Request-Id values for requests that
+	// arrive without one.
+	tracer *obs.Tracer
+	ids    *obs.IDGen
 }
 
 // New builds a Server over a registry.
@@ -100,7 +124,7 @@ func New(reg *Registry, opts Options) *Server {
 	s := &Server{
 		reg:          reg,
 		cache:        NewCache(opts.CacheSize),
-		metrics:      NewMetrics(),
+		metrics:      NewMetrics(opts.Obs),
 		mux:          http.NewServeMux(),
 		batchWorkers: opts.BatchWorkers,
 
@@ -114,10 +138,18 @@ func New(reg *Registry, opts Options) *Server {
 	if !opts.DisableLoadControl {
 		s.load = loadctl.New(opts.Load)
 	}
-	s.drift = uncertainty.NewMonitorSet(opts.Drift, func(model, reason string) {
-		s.metrics.driftKicks.Add(1)
+	if !opts.DisableTracing {
+		s.tracer = opts.Tracer
+		if s.tracer == nil {
+			s.tracer = obs.NewTracer(opts.TraceCapacity)
+		}
+		s.ids = obs.NewIDGen("")
+	}
+	s.metrics.registerCollaborators(s.cache, s.reg, s.load)
+	s.drift = uncertainty.NewMonitorSet(opts.Drift, func(model, reason, origin string) {
+		s.metrics.driftKicks.Inc()
 		if opts.OnDrift != nil {
-			opts.OnDrift(model, reason)
+			opts.OnDrift(model, reason, origin)
 		}
 	})
 	s.mux.Handle("POST /v1/predict", s.instrument("predict", s.handlePredict))
@@ -127,6 +159,9 @@ func New(reg *Registry, opts Options) *Server {
 	s.mux.Handle("POST /v1/reload", s.instrument("reload", s.handleReload))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	if s.tracer != nil {
+		s.mux.Handle("GET /debug/traces", s.tracer.Handler())
+	}
 	return s
 }
 
@@ -138,6 +173,11 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Cache exposes the prediction cache (for embedding and tests).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// Tracer exposes the request-trace ring (nil when tracing is
+// disabled), so cmd/serve can mount /debug/traces on the ops listener
+// and the pipeline can file its run traces into the same ring.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // ---- request/response types ----
 
@@ -251,7 +291,7 @@ func modelInfo(e *Entry) ModelInfo {
 // request returns; anything cached is copied (see computeResult).
 var predictReqPool = sync.Pool{New: func() any { return new(PredictRequest) }}
 
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, rt *obs.ReqTrace) {
 	req := predictReqPool.Get().(*PredictRequest)
 	defer func() {
 		*req = PredictRequest{Params: req.Params[:0], Configs: req.Configs[:0]}
@@ -350,7 +390,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if wtr != nil {
-			if err := wtr.Wait(ctx); err != nil {
+			qs := rt.StartSpan()
+			err := wtr.Wait(ctx)
+			rt.EndSpan("queue_wait", qs)
+			if err != nil {
 				if errors.Is(err, context.DeadlineExceeded) {
 					writeShed(w, &loadctl.ShedError{Reason: loadctl.ShedTimeout, Class: class, RetryAfter: s.load.RetryAfter()})
 				}
@@ -365,8 +408,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		defer func() { s.load.Release(time.Since(svcStart)) }()
 	}
 
+	// Fine-grained cache/model/calibration spans only make sense for a
+	// single-configuration request; a batch gets one compute span (a
+	// 4096-config batch would otherwise flood the trace ring).
+	spanRT := rt
+	if len(configs) != 1 {
+		spanRT = nil
+	}
+	cs := rt.StartSpan()
 	resp := PredictResponse{Model: entry.Name, Version: entry.Version, Results: make([]ConfigResult, len(configs))}
-	if err := s.computeBatch(ctx, entry, req, configs, resp.Results); err != nil {
+	err := s.computeBatch(ctx, entry, req, configs, resp.Results, spanRT)
+	rt.EndSpan("compute", cs)
+	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			if s.load != nil {
@@ -402,14 +455,14 @@ const minParallelBatch = 64
 // lowest-index error is returned (each chunk stops at its first error,
 // which is its lowest, so the minimum over chunks is the global one) —
 // the response is identical to a serial run regardless of worker count.
-func (s *Server) computeBatch(ctx context.Context, entry *Entry, req *PredictRequest, configs [][]float64, out []ConfigResult) error {
+func (s *Server) computeBatch(ctx context.Context, entry *Entry, req *PredictRequest, configs [][]float64, out []ConfigResult, rt *obs.ReqTrace) error {
 	workers := s.batchWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if len(configs) < minParallelBatch || workers == 1 {
 		var kb [128]byte
-		_, err := s.computeRange(ctx, entry, req, configs, out, 0, len(configs), kb[:0])
+		_, err := s.computeRange(ctx, entry, req, configs, out, 0, len(configs), kb[:0], rt)
 		return err
 	}
 	chunk := (len(configs) + workers - 1) / workers
@@ -425,7 +478,7 @@ func (s *Server) computeBatch(ctx context.Context, entry *Entry, req *PredictReq
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			if i, err := s.computeRange(ctx, entry, req, configs, out, lo, hi, make([]byte, 0, 128)); err != nil {
+			if i, err := s.computeRange(ctx, entry, req, configs, out, lo, hi, make([]byte, 0, 128), nil); err != nil {
 				mu.Lock()
 				if errIdx < 0 || i < errIdx {
 					errIdx, firstErr = i, err
@@ -439,27 +492,31 @@ func (s *Server) computeBatch(ctx context.Context, entry *Entry, req *PredictReq
 }
 
 // computeRange computes configs[lo:hi] into out, reusing kb as the cache
-// key buffer. It stops at the first error, returning its index.
-func (s *Server) computeRange(ctx context.Context, entry *Entry, req *PredictRequest, configs [][]float64, out []ConfigResult, lo, hi int, kb []byte) (int, error) {
+// key buffer. It stops at the first error, returning its index. rt is
+// non-nil only for single-configuration requests, which get
+// cache_lookup / model_eval / calibration spans.
+func (s *Server) computeRange(ctx context.Context, entry *Entry, req *PredictRequest, configs [][]float64, out []ConfigResult, lo, hi int, kb []byte, rt *obs.ReqTrace) (int, error) {
 	for i := lo; i < hi; i++ {
 		if err := ctx.Err(); err != nil {
 			return i, err
 		}
 		cfg := configs[i]
 		kb = appendPredictKey(kb[:0], entry, req, cfg)
+		ls := rt.StartSpan()
 		v, hit, err := s.cache.DoBytes(ctx, kb, func() (any, error) {
 			if s.synthDelay > 0 {
 				time.Sleep(s.synthDelay)
 			}
-			return computeResult(entry.Model, req, cfg)
+			return computeResult(entry.Model, req, cfg, rt)
 		})
+		rt.EndSpan("cache_lookup", ls)
 		if err != nil {
 			return i, err
 		}
 		res := *v.(*ConfigResult) // shallow copy; cached inner slices are never mutated
 		res.Cached = hit
 		out[i] = res
-		s.metrics.predictions.Add(1)
+		s.metrics.predictions.Inc()
 	}
 	return -1, nil
 }
@@ -467,7 +524,8 @@ func (s *Server) computeRange(ctx context.Context, entry *Entry, req *PredictReq
 // computeResult runs the actual model for one configuration. cfg is
 // copied: the result outlives the request in the cache, while cfg's
 // backing array belongs to the pooled request object.
-func computeResult(m *core.TwoLevelModel, req *PredictRequest, cfg []float64) (*ConfigResult, error) {
+func computeResult(m *core.TwoLevelModel, req *PredictRequest, cfg []float64, rt *obs.ReqTrace) (*ConfigResult, error) {
+	es := rt.StartSpan()
 	res := &ConfigResult{
 		Params:  append([]float64(nil), cfg...),
 		Cluster: m.AssignCluster(cfg),
@@ -482,14 +540,18 @@ func computeResult(m *core.TwoLevelModel, req *PredictRequest, cfg []float64) (*
 		}
 		res.Scales = []int{req.At}
 		res.Runtimes = []float64{v}
+		rt.EndSpan("model_eval", es)
 		return res, nil
 	}
 	res.Scales = m.Cfg.LargeScales
 	res.Runtimes = m.Predict(cfg)
+	rt.EndSpan("model_eval", es)
 	if req.Interval > 0 {
 		// Interval is a normalized coverage by here (see handlePredict);
 		// calibrated models answer conformally, others from tree spread.
+		is := rt.StartSpan()
 		res.Intervals = m.PredictIntervalCov(cfg, req.Interval)
+		rt.EndSpan("calibration", is)
 	}
 	return res, nil
 }
@@ -519,7 +581,7 @@ func appendPredictKey(dst []byte, e *Entry, req *PredictRequest, cfg []float64) 
 	return dst
 }
 
-func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request, _ *obs.ReqTrace) {
 	entries := s.reg.List()
 	infos := make([]ModelInfo, len(entries))
 	for i, e := range entries {
@@ -528,7 +590,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
 }
 
-func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, _ *obs.ReqTrace) {
 	err := s.reg.Reload()
 	entries := s.reg.List()
 	infos := make([]ModelInfo, len(entries))
@@ -544,7 +606,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, body)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request, _ *obs.ReqTrace) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
@@ -556,8 +618,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.reg.Len()})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleMetrics serves the metrics document with content negotiation:
+// the historical JSON shape by default, the Prometheus text exposition
+// (format 0.0.4) when the Accept header asks for text/plain or
+// openmetrics — both rendered from the same registry state.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, _ *obs.ReqTrace) {
+	if wantsPromText(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// A write error means the scraper went away mid-reply; the status
+		// line is committed, so there is nothing left to do.
+		_ = s.metrics.WritePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache, s.reg, s.drift, s.load))
+}
+
+// wantsPromText decides the /metrics representation from an Accept
+// header: the first recognized media type wins (q-values are ignored —
+// scrapers list their preferred type first), and the default for an
+// absent or wildcard-only header stays JSON for backward
+// compatibility.
+func wantsPromText(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		switch mt {
+		case "application/json", "application/*":
+			return false
+		case "text/plain", "text/*", "application/openmetrics-text":
+			return true
+		}
+	}
+	return false
 }
 
 // ---- plumbing ----
@@ -573,21 +667,41 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with panic recovery and per-endpoint
-// request/error/latency accounting.
-func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+// instrumented is a handler that also receives the request's trace
+// (nil when tracing is disabled) — passed as an argument rather than
+// through context.WithValue so the hot path does not pay two context
+// allocations per request.
+type instrumented func(http.ResponseWriter, *http.Request, *obs.ReqTrace)
+
+// instrument wraps a handler with panic recovery, per-endpoint
+// request/error/latency accounting, and request tracing: an inbound
+// X-Request-Id is adopted (and echoed), otherwise one is minted, and
+// the finished span tree lands in the trace ring keyed by that ID.
+func (s *Server) instrument(name string, h instrumented) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		var rt *obs.ReqTrace
+		if s.tracer != nil {
+			id := r.Header.Get(obs.RequestIDHeader)
+			if id == "" {
+				id = s.ids.Next()
+			}
+			w.Header().Set(obs.RequestIDHeader, id)
+			rt = s.tracer.StartRequest("request", name, id)
+		} else if id := r.Header.Get(obs.RequestIDHeader); id != "" {
+			w.Header().Set(obs.RequestIDHeader, id)
+		}
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
-				s.metrics.panics.Add(1)
+				s.metrics.panics.Inc()
 				sr.status = http.StatusInternalServerError
 				writeError(sr, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
 			}
 			s.metrics.record(name, sr.status, time.Since(start))
+			rt.Finish(sr.status)
 		}()
-		h(sr, r)
+		h(sr, r, rt)
 	})
 }
 

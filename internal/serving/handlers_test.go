@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -449,7 +450,7 @@ func TestPanicRecovery(t *testing.T) {
 	// PredictFromCurve panics on arity mismatch; reach a panic through a
 	// request the validators can't pre-check by corrupting the model copy.
 	// Simpler: panic via the instrument wrapper directly.
-	h := s.instrument("other", func(w http.ResponseWriter, r *http.Request) {
+	h := s.instrument("other", func(w http.ResponseWriter, r *http.Request, _ *obs.ReqTrace) {
 		panic("kaboom")
 	})
 	w := httptest.NewRecorder()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/loadctl"
+	"repro/internal/obs"
 )
 
 // DeadlineHeader is the request header carrying the client's total
@@ -116,7 +117,7 @@ type LoadStatus struct {
 	Load     *loadctl.Snapshot `json:"load,omitempty"`
 }
 
-func (s *Server) handleLoadStatus(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLoadStatus(w http.ResponseWriter, r *http.Request, _ *obs.ReqTrace) {
 	st := LoadStatus{Enabled: s.load != nil, Draining: s.draining.Load()}
 	if s.load != nil {
 		snap := s.load.Snapshot()

@@ -1,10 +1,11 @@
 package serving
 
 import (
-	"sync/atomic"
+	"io"
 	"time"
 
 	"repro/internal/loadctl"
+	"repro/internal/obs"
 	"repro/internal/uncertainty"
 )
 
@@ -14,93 +15,87 @@ var latencyBucketsMS = []float64{
 	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000,
 }
 
-// histogram is a fixed-bucket latency histogram updated with atomics.
-type histogram struct {
-	counts   []atomic.Int64 // len(latencyBucketsMS)+1, last = +Inf
-	sumNanos atomic.Int64
-	count    atomic.Int64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]atomic.Int64, len(latencyBucketsMS)+1)}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := 0
-	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
-		i++
+// latencyBounds converts the bucket bounds to the Durations the obs
+// registry works in.
+func latencyBounds() []time.Duration {
+	out := make([]time.Duration, len(latencyBucketsMS))
+	for i, ms := range latencyBucketsMS {
+		out[i] = time.Duration(ms * float64(time.Millisecond))
 	}
-	h.counts[i].Add(1)
-	h.sumNanos.Add(int64(d))
-	h.count.Add(1)
+	return out
 }
 
-// HistogramBucket is one cumulative histogram bucket in a snapshot.
-type HistogramBucket struct {
-	LeMS  float64 `json:"le_ms"` // upper bound; 0 marks the +Inf bucket
-	Count int64   `json:"count"` // cumulative count <= LeMS
-}
+// HistogramBucket and HistogramSnapshot are the obs registry's JSON
+// histogram views; the aliases keep the /metrics JSON types where
+// consumers of this package have always found them. The +Inf bucket is
+// marked by the explicit "+Inf" bound (obs.BucketBound), not the old
+// ambiguous 0 sentinel.
+type (
+	HistogramBucket  = obs.HistogramBucket
+	HistogramSnapshot = obs.HistogramSnapshot
+)
 
-// HistogramSnapshot is the JSON view of a latency histogram.
-type HistogramSnapshot struct {
-	Count      int64             `json:"count"`
-	SumSeconds float64           `json:"sum_seconds"`
-	MeanMS     float64           `json:"mean_ms"`
-	Buckets    []HistogramBucket `json:"buckets,omitempty"`
-}
-
-func (h *histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		Count:      h.count.Load(),
-		SumSeconds: float64(h.sumNanos.Load()) / float64(time.Second),
-	}
-	if s.Count > 0 {
-		s.MeanMS = float64(h.sumNanos.Load()) / float64(time.Millisecond) / float64(s.Count)
-	}
-	cum := int64(0)
-	for i := range h.counts {
-		cum += h.counts[i].Load()
-		b := HistogramBucket{Count: cum}
-		if i < len(latencyBucketsMS) {
-			b.LeMS = latencyBucketsMS[i]
-		}
-		s.Buckets = append(s.Buckets, b)
-	}
-	return s
-}
-
-// endpointStats accumulates one route's counters.
+// endpointStats holds one route's registry handles.
 type endpointStats struct {
-	requests atomic.Int64
-	errors   atomic.Int64
-	latency  *histogram
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
 }
 
-// Metrics accumulates server observability counters with atomics; the
-// per-endpoint map is built once at construction and only read
-// afterwards, so no lock is ever taken on the request path.
+// Metrics is the server's view of the central obs registry: counters,
+// gauges, and histograms are registered once at construction and the
+// returned atomic handles are the only thing the request path touches,
+// so recording stays lock-free and zero-alloc. The same registry
+// renders the Prometheus exposition, so the JSON document and the
+// text exposition always agree.
 type Metrics struct {
 	start            time.Time
+	reg              *obs.Registry
 	endpoints        map[string]*endpointStats
-	predictions      atomic.Int64 // configurations predicted (batch-aware)
-	panics           atomic.Int64
-	intervalRequests atomic.Int64 // /v1/predict requests asking for intervals
-	observations     atomic.Int64 // runtimes ingested via /v1/observe (batch-aware)
-	driftKicks       atomic.Int64 // coverage-breach episodes that kicked retraining
+	predictions      *obs.Counter // configurations predicted (batch-aware)
+	panics           *obs.Counter
+	intervalRequests *obs.Counter // /v1/predict requests asking for intervals
+	observations     *obs.Counter // runtimes ingested via /v1/observe (batch-aware)
+	driftKicks       *obs.Counter // coverage-breach episodes that kicked retraining
 }
 
 // metricEndpoints are the route labels instrumented by the server.
 var metricEndpoints = []string{"predict", "observe", "models", "loadstatus", "reload", "healthz", "metrics", "other"}
 
-// NewMetrics creates a metrics accumulator.
-func NewMetrics() *Metrics {
-	m := &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats, len(metricEndpoints))}
-	for _, name := range metricEndpoints {
-		m.endpoints[name] = &endpointStats{latency: newHistogram()}
+// NewMetrics creates a metrics accumulator on reg; a nil reg gets a
+// private registry (the common case — cmd/serve passes a shared one so
+// pipeline metrics land in the same exposition).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry("repro")
 	}
+	m := &Metrics{start: time.Now(), reg: reg, endpoints: make(map[string]*endpointStats, len(metricEndpoints))}
+	bounds := latencyBounds()
+	for _, name := range metricEndpoints {
+		m.endpoints[name] = &endpointStats{
+			requests: reg.Counter("http_requests_total", "HTTP requests by endpoint", obs.L("endpoint", name)),
+			errors:   reg.Counter("http_request_errors_total", "HTTP responses with status >= 400 by endpoint", obs.L("endpoint", name)),
+			latency:  reg.Histogram("http_request_duration_seconds", "HTTP request latency by endpoint", bounds, obs.L("endpoint", name)),
+		}
+	}
+	m.predictions = reg.Counter("predictions_total", "configurations predicted, counting each batch entry")
+	m.panics = reg.Counter("panics_total", "handler panics recovered and answered with a 500")
+	m.intervalRequests = reg.Counter("interval_requests_total", "predict requests asking for prediction intervals")
+	m.observations = reg.Counter("observations_total", "measured runtimes ingested via /v1/observe, counting each batch entry")
+	m.driftKicks = reg.Counter("drift_kicks_total", "coverage-breach episodes that kicked retraining")
+	reg.GaugeFunc("uptime_seconds", "seconds since server start", func() float64 {
+		return time.Since(m.start).Seconds()
+	})
 	return m
 }
+
+// Registry exposes the underlying obs registry (for embedding more
+// collectors and for the Prometheus exposition).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (served on GET /metrics via content negotiation).
+func (m *Metrics) WritePrometheus(w io.Writer) error { return m.reg.WritePrometheus(w) }
 
 // record accumulates one finished request.
 func (m *Metrics) record(endpoint string, status int, d time.Duration) {
@@ -108,11 +103,58 @@ func (m *Metrics) record(endpoint string, status int, d time.Duration) {
 	if !ok {
 		es = m.endpoints["other"]
 	}
-	es.requests.Add(1)
+	es.requests.Inc()
 	if status >= 400 {
-		es.errors.Add(1)
+		es.errors.Inc()
 	}
-	es.latency.observe(d)
+	es.latency.Observe(d)
+}
+
+// registerCollaborators bridges collaborator-owned counters (cache,
+// registry, admission controller) into the Prometheus exposition as
+// sampled-at-scrape functions; the collaborators keep their own
+// atomics and the JSON document keeps reading them directly.
+func (m *Metrics) registerCollaborators(cache *Cache, reg *Registry, load *loadctl.Controller) {
+	r := m.reg
+	if cache != nil {
+		r.CounterFunc("cache_hits_total", "prediction cache hits", func() float64 { return float64(cache.Stats().Hits) })
+		r.CounterFunc("cache_misses_total", "prediction cache misses", func() float64 { return float64(cache.Stats().Misses) })
+		r.CounterFunc("cache_coalesced_total", "lookups coalesced into an in-flight computation", func() float64 { return float64(cache.Stats().Coalesced) })
+		r.CounterFunc("cache_evictions_total", "LRU evictions", func() float64 { return float64(cache.Stats().Evictions) })
+		r.GaugeFunc("cache_entries", "live prediction cache entries", func() float64 { return float64(cache.Stats().Size) })
+	}
+	if reg != nil {
+		r.GaugeFunc("models", "models installed in the registry", func() float64 { return float64(reg.Len()) })
+		r.CounterFunc("model_reloads_total", "registry reloads", func() float64 { return float64(reg.Reloads()) })
+		r.CounterFunc("pipeline_promotions_total", "model generations promoted into serving", func() float64 {
+			p, _, _ := reg.PromotionCounts()
+			return float64(p)
+		})
+		r.CounterFunc("pipeline_rejections_total", "candidate generations rejected by the gate", func() float64 {
+			_, rej, _ := reg.PromotionCounts()
+			return float64(rej)
+		})
+		r.CounterFunc("pipeline_rollbacks_total", "generation rollbacks", func() float64 {
+			_, _, rb := reg.PromotionCounts()
+			return float64(rb)
+		})
+	}
+	if load != nil {
+		r.GaugeFunc("load_limit", "admission concurrency limit", func() float64 { return load.Snapshot().Limit })
+		r.GaugeFunc("load_in_flight", "requests holding an admission slot", func() float64 { return float64(load.Snapshot().InFlight) })
+		r.GaugeFunc("load_queued", "requests waiting in the admission queue", func() float64 { return float64(load.Snapshot().Queued) })
+		r.GaugeFunc("load_degraded", "1 while the server is in degraded cache-only mode", func() float64 {
+			if load.Snapshot().Degraded {
+				return 1
+			}
+			return 0
+		})
+		r.CounterFunc("load_admitted_total", "requests granted an admission slot", func() float64 { return float64(load.Snapshot().Admitted.Total()) })
+		r.CounterFunc("load_completed_total", "admitted requests completed", func() float64 { return float64(load.Snapshot().Completed) })
+		r.CounterFunc("load_shed_total", "requests shed (queue full, budget, degraded, or timeout)", func() float64 { return float64(load.Snapshot().ShedTotal()) })
+		r.CounterFunc("load_degraded_served_total", "cache-only responses served while degraded", func() float64 { return float64(load.Snapshot().DegradedServed) })
+		r.GaugeFunc("load_ewma_latency_seconds", "EWMA service-latency estimate", func() float64 { return load.Snapshot().EWMALatencyMS / 1e3 })
+	}
 }
 
 // EndpointSnapshot is the JSON view of one route's counters.
@@ -185,7 +227,7 @@ func (m *Metrics) Snapshot(cache *Cache, reg *Registry, drift *uncertainty.Monit
 		}
 		s.RequestsTotal += req
 		s.ErrorsTotal += errs
-		s.Endpoints[name] = EndpointSnapshot{Requests: req, Errors: errs, Latency: es.latency.snapshot()}
+		s.Endpoints[name] = EndpointSnapshot{Requests: req, Errors: errs, Latency: es.latency.Snapshot()}
 	}
 	if cache != nil {
 		s.Cache = cache.Stats()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/obs"
 	"repro/internal/uncertainty"
 )
 
@@ -58,7 +59,7 @@ type ObserveResponse struct {
 // nominal coverage, feeding the per-scale coverage/MAPE windows that
 // detect drift. The loop is feedback, not bookkeeping — a breach here
 // kicks the retraining pipeline through the server's OnDrift hook.
-func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request, rt *obs.ReqTrace) {
 	var req ObserveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -117,13 +118,17 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 				i, o.Scale, entry.Name, m.Cfg.LargeScales))
 			return
 		}
-		out := s.drift.Observe(entry.Name, o.Scale, res.Predicted, res.Lo, res.Hi, o.Runtime)
+		// The request ID rides along as the observation's origin: if this
+		// is the observation that tips coverage below the floor, the drift
+		// kick (and the journal entry the retrain writes) carries it, so
+		// the whole retraining episode is traceable back to this request.
+		out := s.drift.Observe(entry.Name, o.Scale, res.Predicted, res.Lo, res.Hi, o.Runtime, rt.ID())
 		res.Covered = out.Covered
 		res.APE = out.APE
 		res.Drift = out.BreachStarted
 		res.Reason = out.Reason
 		resp.Results[i] = res
-		s.metrics.observations.Add(1)
+		s.metrics.observations.Inc()
 	}
 	resp.Monitor = s.drift.Monitor(entry.Name).Snapshot()
 	resp.Monitor.Model = entry.Name

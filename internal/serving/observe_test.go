@@ -13,7 +13,7 @@ func TestObserveFeedsMonitorAndKicksOnDrift(t *testing.T) {
 	var kicks []string
 	opts := DefaultOptions()
 	opts.Drift = uncertainty.DriftConfig{Window: 8, MinObservations: 4, Coverage: 0.8, Floor: 0.75}
-	opts.OnDrift = func(model, reason string) {
+	opts.OnDrift = func(model, reason, origin string) {
 		mu.Lock()
 		kicks = append(kicks, model+"|"+reason)
 		mu.Unlock()

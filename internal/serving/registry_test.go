@@ -157,7 +157,7 @@ func TestRegistryPromotionObservability(t *testing.T) {
 	}
 
 	// The whole story surfaces on the metrics snapshot.
-	snap := NewMetrics().Snapshot(nil, reg, nil, nil)
+	snap := NewMetrics(nil).Snapshot(nil, reg, nil, nil)
 	if len(snap.ModelStatus) != 1 || snap.ModelStatus[0].Generation != 7 {
 		t.Fatalf("ModelStatus = %+v, want generation 7", snap.ModelStatus)
 	}

@@ -238,7 +238,7 @@ func finite(v float64) float64 {
 // for concurrent use; the callback runs outside all internal locks.
 type MonitorSet struct {
 	cfg      DriftConfig
-	onBreach func(model, reason string)
+	onBreach func(model, reason, origin string)
 
 	mu       sync.Mutex
 	monitors map[string]*Monitor
@@ -246,7 +246,10 @@ type MonitorSet struct {
 
 // NewMonitorSet builds a set with cfg (defaults applied). onBreach may
 // be nil; when set it is invoked once per breach episode per model.
-func NewMonitorSet(cfg DriftConfig, onBreach func(model, reason string)) *MonitorSet {
+// origin is the opaque identifier the breaching observation arrived
+// with (e.g. an HTTP request ID) so retraining provoked by the breach
+// can be traced back to the triggering ingest; it may be empty.
+func NewMonitorSet(cfg DriftConfig, onBreach func(model, reason, origin string)) *MonitorSet {
 	return &MonitorSet{cfg: cfg.WithDefaults(), onBreach: onBreach, monitors: map[string]*Monitor{}}
 }
 
@@ -266,11 +269,13 @@ func (ms *MonitorSet) Monitor(model string) *Monitor {
 }
 
 // Observe records one measurement for the named model and fires the
-// breach callback on a drift edge.
-func (ms *MonitorSet) Observe(model string, scale int, predicted, lo, hi, actual float64) Outcome {
+// breach callback on a drift edge. origin tags the observation for
+// end-to-end traceability (the callback receives it verbatim); pass ""
+// when the caller has no identity to propagate.
+func (ms *MonitorSet) Observe(model string, scale int, predicted, lo, hi, actual float64, origin string) Outcome {
 	out := ms.Monitor(model).Observe(scale, predicted, lo, hi, actual)
 	if out.BreachStarted && ms.onBreach != nil {
-		ms.onBreach(model, out.Reason)
+		ms.onBreach(model, out.Reason, origin)
 	}
 	return out
 }

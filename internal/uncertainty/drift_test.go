@@ -1,6 +1,7 @@
 package uncertainty
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -133,13 +134,15 @@ func TestMonitorSnapshotSorted(t *testing.T) {
 func TestMonitorSetCallbackOncePerEpisode(t *testing.T) {
 	var mu sync.Mutex
 	var calls []string
-	ms := NewMonitorSet(DriftConfig{Window: 5, MinObservations: 5, Floor: 0.75}, func(model, reason string) {
+	ms := NewMonitorSet(DriftConfig{Window: 5, MinObservations: 5, Floor: 0.75}, func(model, reason, origin string) {
 		mu.Lock()
-		calls = append(calls, model+": "+reason)
+		calls = append(calls, model+": "+reason+" ["+origin+"]")
 		mu.Unlock()
 	})
 	for i := 0; i < 20; i++ {
-		ms.Observe("smg", 128, 100, 90, 110, 500)
+		// Vary the origin per observation: the callback must carry the
+		// breaching observation's own origin, not an earlier one.
+		ms.Observe("smg", 128, 100, 90, 110, 500, fmt.Sprintf("req-smg-%d", i))
 	}
 	mu.Lock()
 	defer mu.Unlock()
@@ -149,6 +152,11 @@ func TestMonitorSetCallbackOncePerEpisode(t *testing.T) {
 	if !strings.HasPrefix(calls[0], "smg: drift:") {
 		t.Fatalf("callback payload %q", calls[0])
 	}
+	// The breach fires on the 5th observation (MinObservations), whose
+	// origin is req-smg-4.
+	if !strings.HasSuffix(calls[0], "[req-smg-4]") {
+		t.Fatalf("callback origin: %q, want suffix [req-smg-4]", calls[0])
+	}
 	if ms.Kicks() != 1 {
 		t.Fatalf("Kicks() = %d, want 1", ms.Kicks())
 	}
@@ -156,8 +164,8 @@ func TestMonitorSetCallbackOncePerEpisode(t *testing.T) {
 
 func TestMonitorSetSnapshotSortedByModel(t *testing.T) {
 	ms := NewMonitorSet(DriftConfig{}, nil)
-	ms.Observe("zeta", 128, 100, 90, 110, 100)
-	ms.Observe("alpha", 128, 100, 90, 110, 100)
+	ms.Observe("zeta", 128, 100, 90, 110, 100, "")
+	ms.Observe("alpha", 128, 100, 90, 110, 100, "")
 	snaps := ms.Snapshot()
 	if len(snaps) != 2 || snaps[0].Model != "alpha" || snaps[1].Model != "zeta" {
 		t.Fatalf("snapshots = %+v", snaps)
@@ -165,7 +173,7 @@ func TestMonitorSetSnapshotSortedByModel(t *testing.T) {
 }
 
 func TestMonitorConcurrent(t *testing.T) {
-	ms := NewMonitorSet(DriftConfig{Window: 64, MinObservations: 16}, func(string, string) {})
+	ms := NewMonitorSet(DriftConfig{Window: 64, MinObservations: 16}, func(string, string, string) {})
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -176,7 +184,7 @@ func TestMonitorConcurrent(t *testing.T) {
 				if (g+i)%3 == 0 {
 					actual = 500.0
 				}
-				ms.Observe("m", 128+(g%2)*128, 100, 90, 110, actual)
+				ms.Observe("m", 128+(g%2)*128, 100, 90, 110, actual, "")
 				if i%50 == 0 {
 					ms.Snapshot()
 				}
